@@ -1,0 +1,142 @@
+(* Benchmark harness.
+
+   Part 1 regenerates every table/figure of the paper (one table per
+   experiment, see DESIGN.md's per-experiment index and EXPERIMENTS.md for
+   the recorded paper-vs-measured comparison).
+
+   Part 2 runs Bechamel micro-benchmarks — one Test.make per benchmark
+   family — measuring the cost of a simulation step for each algorithm, the
+   token substrate, and the exact matching computations behind the
+   Theorem 4/5 bounds.
+
+   `dune exec bench/main.exe` runs everything in full mode;
+   `dune exec bench/main.exe -- --quick` uses the reduced sweeps (the same
+   the test-suite uses). *)
+
+module Families = Snapcc_hypergraph.Families
+module Matching = Snapcc_hypergraph.Matching
+module Model = Snapcc_runtime.Model
+module Daemon = Snapcc_runtime.Daemon
+module Workload = Snapcc_workload.Workload
+module X = Snapcc_experiments.Algos
+module Registry = Snapcc_experiments.Registry
+module Table = Snapcc_experiments.Table
+
+let quick = Array.exists (fun a -> a = "--quick") Sys.argv
+
+(* ---------- Part 1: the paper's tables and figures ---------- *)
+
+let run_experiments () =
+  Format.printf "=== snap-stabilizing committee coordination: experiment tables (%s mode) ===@.@."
+    (if quick then "quick" else "full");
+  List.iter
+    (fun (e : Registry.entry) ->
+      let t0 = Unix.gettimeofday () in
+      let table = e.Registry.run ~quick in
+      Format.printf "%a@," Table.pp table;
+      Format.printf "(%s: %.1fs)@.@." e.Registry.id (Unix.gettimeofday () -. t0))
+    Registry.all
+
+(* ---------- Part 2: Bechamel micro-benchmarks ---------- *)
+
+open Bechamel
+open Toolkit
+
+(* One engine step (daemon selection + guard evaluation + atomic writes)
+   under a steady always-requesting load. *)
+let step_bench (type s) name (module A : Model.ALGO with type state = s) h =
+  let module E = Snapcc_runtime.Engine.Make (A) in
+  let eng = E.create ~seed:1 ~daemon:(Daemon.random_subset ()) h in
+  let workload = Workload.always_requesting h in
+  Test.make ~name
+    (Staged.stage (fun () ->
+         let inputs = Workload.inputs workload (E.obs eng) in
+         let report = E.step eng ~inputs in
+         if not report.Model.terminal then
+           Workload.observe workload ~step:report.Model.step (E.obs eng)))
+
+let token_bench name h =
+  let module A = Snapcc_token.Layer.As_algo (Snapcc_token.Token_tree) in
+  let module E = Snapcc_runtime.Engine.Make (A) in
+  let eng = E.create ~seed:1 ~daemon:(Daemon.random_subset ()) h in
+  Test.make ~name
+    (Staged.stage (fun () -> ignore (E.step eng ~inputs:Model.no_inputs)))
+
+let leader_convergence_bench name h =
+  let module E = Snapcc_runtime.Engine.Make (Snapcc_token.Leader.Algo) in
+  let seed = ref 0 in
+  Test.make ~name
+    (Staged.stage (fun () ->
+         incr seed;
+         let eng = E.create ~seed:!seed ~init:`Random ~daemon:Daemon.synchronous h in
+         ignore (E.run eng ~steps:10_000 ~inputs_at:(fun _ -> Model.no_inputs) ())))
+
+let matching_bench name h =
+  Test.make ~name (Staged.stage (fun () -> ignore (Matching.bounds h)))
+
+let mp_step_bench name h =
+  let module E = Snapcc_mp.Mp_engine.Make (X.Cc2) in
+  let eng = E.create ~seed:1 h in
+  let workload = Workload.always_requesting h in
+  Test.make ~name
+    (Staged.stage (fun () ->
+         let inputs = Workload.inputs workload (E.obs eng) in
+         ignore (E.step eng ~inputs)))
+
+let tests () =
+  let fig1 = Families.fig1 () in
+  let ring9 = Families.pair_ring 9 in
+  let tri9 = Families.k_uniform_ring ~n:9 ~k:3 in
+  [ step_bench "step/cc1/fig1" (module X.Cc1) fig1;
+    step_bench "step/cc2/fig1" (module X.Cc2) fig1;
+    step_bench "step/cc3/fig1" (module X.Cc3) fig1;
+    step_bench "step/cc1/ring9" (module X.Cc1) ring9;
+    step_bench "step/cc2/ring9" (module X.Cc2) ring9;
+    step_bench "step/cc2/triring9" (module X.Cc2) tri9;
+    step_bench "step/cc2/ring24" (module X.Cc2) (Families.pair_ring 24);
+    step_bench "step/cc2/ring48" (module X.Cc2) (Families.pair_ring 48);
+    step_bench "step/dining/fig1" (module X.Dining) fig1;
+    step_bench "step/central/fig1" (module X.Central) fig1;
+    mp_step_bench "mp-step/cc2/ring9" ring9;
+    token_bench "token/step/ring9" ring9;
+    leader_convergence_bench "leader/converge/fig1" fig1;
+    matching_bench "matching/bounds/fig4" (Families.fig4 ());
+    matching_bench "matching/bounds/ring8" (Families.pair_ring 8);
+  ]
+
+let run_micro_benchmarks () =
+  Format.printf "=== Bechamel micro-benchmarks (time per call) ===@.";
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg
+      ~limit:(if quick then 500 else 2000)
+      ~quota:(Time.second (if quick then 0.25 else 0.75))
+      ~kde:None ()
+  in
+  let raw =
+    Benchmark.all cfg instances
+      (Test.make_grouped ~name:"snapcc" ~fmt:"%s %s" (tests ()))
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows =
+    Hashtbl.fold
+      (fun name ols acc ->
+        let ns =
+          match Analyze.OLS.estimates ols with
+          | Some (est :: _) -> est
+          | Some [] | None -> nan
+        in
+        (name, ns) :: acc)
+      results []
+    |> List.sort compare
+  in
+  Format.printf "%-28s %14s@." "benchmark" "ns/call";
+  List.iter (fun (name, ns) -> Format.printf "%-28s %14.1f@." name ns) rows;
+  Format.printf "@."
+
+let () =
+  run_experiments ();
+  run_micro_benchmarks ()

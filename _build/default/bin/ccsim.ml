@@ -1,0 +1,285 @@
+(* ccsim — command-line driver for the snap-stabilizing committee
+   coordination library.
+
+   ccsim run        simulate an algorithm on a topology, with monitors
+   ccsim bounds     print the matching-theory bounds of a topology
+   ccsim experiment run one of the paper's experiments by id
+   ccsim list       available topologies, algorithms and experiments *)
+
+module H = Snapcc_hypergraph.Hypergraph
+module Families = Snapcc_hypergraph.Families
+module Matching = Snapcc_hypergraph.Matching
+module Daemon = Snapcc_runtime.Daemon
+module Obs = Snapcc_runtime.Obs
+module Trace = Snapcc_runtime.Trace
+module Workload = Snapcc_workload.Workload
+module Spec = Snapcc_analysis.Spec
+module X = Snapcc_experiments.Algos
+module Driver = Snapcc_experiments.Driver
+module Registry = Snapcc_experiments.Registry
+module Table = Snapcc_experiments.Table
+
+open Cmdliner
+
+(* ---- shared arguments ---- *)
+
+let topology_arg =
+  let doc =
+    "Topology: fig1|fig2|fig3|fig4, ring<n>, path<n>, star<n>, clique<n>, \
+     single<k>, one of the named families (see `ccsim list'), or a path to \
+     a committee file (see lib/hypergraph/hypergraph_io.mli for the format)."
+  in
+  Arg.(value & opt string "fig1" & info [ "t"; "topology" ] ~docv:"TOPO" ~doc)
+
+let seed_arg =
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.")
+
+let steps_arg =
+  Arg.(value & opt int 10_000 & info [ "steps" ] ~docv:"N" ~doc:"Step horizon.")
+
+let algo_arg =
+  let doc = "Algorithm: cc1|cc2|cc3|token-only|dining|central|cc1-no-token." in
+  Arg.(value & opt string "cc1" & info [ "a"; "algo" ] ~docv:"ALGO" ~doc)
+
+let daemon_arg =
+  let doc = "Daemon: synchronous|central|random|sparse." in
+  Arg.(value & opt string "random" & info [ "d"; "daemon" ] ~docv:"DAEMON" ~doc)
+
+let workload_arg =
+  let doc = "Workload: always|bursty|infinite." in
+  Arg.(value & opt string "always" & info [ "w"; "workload" ] ~docv:"WL" ~doc)
+
+let disc_arg =
+  Arg.(value & opt int 2 & info [ "disc" ] ~docv:"D"
+         ~doc:"Voluntary-discussion length in steps (maxDisc).")
+
+let random_init_arg =
+  Arg.(value & flag & info [ "random-init" ]
+         ~doc:"Start from an arbitrary configuration (post-fault state).")
+
+let fault_arg =
+  Arg.(value & opt (some int) None & info [ "fault-at" ] ~docv:"STEP"
+         ~doc:"Inject a transient fault (corrupt half the processes) at STEP.")
+
+let trace_arg =
+  Arg.(value & flag & info [ "trace" ] ~doc:"Print the full execution trace.")
+
+let timeline_arg =
+  Arg.(value & flag & info [ "timeline" ]
+         ~doc:"Print the ASCII meeting timeline (committees x time).")
+
+let quick_arg =
+  Arg.(value & flag & info [ "quick" ] ~doc:"Reduced sweeps (what the tests run).")
+
+let topology name =
+  if Sys.file_exists name then Snapcc_hypergraph.Hypergraph_io.load name
+  else
+    try Ok (Families.by_name name) with
+    | Invalid_argument msg -> Error msg
+    | H.Invalid msg -> Error msg
+
+let daemon = function
+  | "synchronous" | "sync" -> Ok Daemon.synchronous
+  | "central" -> Ok (Daemon.central ())
+  | "random" -> Ok (Daemon.random_subset ())
+  | "sparse" -> Ok (Daemon.random_subset ~p:0.15 ())
+  | d -> Error (Printf.sprintf "unknown daemon %S" d)
+
+let workload name ~disc h =
+  match name with
+  | "always" -> Ok (Workload.always_requesting ~disc_len:(fun _ -> disc) h)
+  | "bursty" -> Ok (Workload.bursty ~disc_len:(fun _ -> disc) ~seed:7 h)
+  | "infinite" -> Ok (Workload.infinite_meetings h)
+  | w -> Error (Printf.sprintf "unknown workload %S" w)
+
+let runner = function
+  | "cc1" -> Ok (List.nth (X.paper_algorithms ()) 0)
+  | "cc2" -> Ok (List.nth (X.paper_algorithms ()) 1)
+  | "cc3" -> Ok (List.nth (X.paper_algorithms ()) 2)
+  | "cc1-no-token" ->
+    Ok
+      { X.label = "CC1/no-token";
+        run =
+          (fun ?seed ?init ?faults ?stop_when ?record_trace ~daemon ~workload
+               ~steps h ->
+            X.Run_cc1_no_token.run ?seed ?init ?faults ?stop_when ?record_trace
+              ~daemon ~workload ~steps h) }
+  | name ->
+    (match List.find_opt (fun r -> r.X.label = name) (X.baseline_algorithms ()) with
+     | Some r -> Ok r
+     | None -> Error (Printf.sprintf "unknown algorithm %S" name))
+
+let or_die = function
+  | Ok v -> v
+  | Error msg ->
+    Format.eprintf "ccsim: %s@." msg;
+    exit 2
+
+(* ---- run ---- *)
+
+let run_cmd topo algo_name daemon_name workload_name steps seed disc random_init
+    fault_at trace timeline =
+  let h = or_die (topology topo) in
+  let daemon = or_die (daemon daemon_name) in
+  let workload = or_die (workload workload_name ~disc h) in
+  let runner = or_die (runner algo_name) in
+  let init = if random_init then `Random else `Canonical in
+  let faults =
+    Option.map
+      (fun at ~step ->
+        if step = at then List.init (max 1 (H.n h / 2)) (fun i -> 2 * i mod H.n h)
+        else [])
+      fault_at
+  in
+  let r =
+    runner.X.run ~seed ~init ?faults ~record_trace:(trace || timeline) ~daemon
+      ~workload ~steps h
+  in
+  Format.printf "%a@." Driver.pp_result r;
+  if r.Driver.violations <> [] then begin
+    Format.printf "@.violations:@.";
+    List.iter (fun v -> Format.printf "  %a@." Spec.pp_violation v) r.Driver.violations
+  end;
+  Format.printf "@.final configuration:@.%a@." (Obs.pp_snapshot h) r.Driver.final_obs;
+  (match r.Driver.trace with
+   | Some tr when timeline ->
+     Format.printf "@.meeting timeline:@.%a@." (Trace.pp_timeline ~width:72) tr
+   | Some _ | None -> ());
+  (match r.Driver.trace with
+   | Some tr when trace -> Format.printf "@.trace:@.%a@." Trace.pp tr
+   | Some _ | None -> ());
+  if r.Driver.violations <> [] then exit 1
+
+let run_term =
+  Term.(
+    const run_cmd $ topology_arg $ algo_arg $ daemon_arg $ workload_arg
+    $ steps_arg $ seed_arg $ disc_arg $ random_init_arg $ fault_arg $ trace_arg
+    $ timeline_arg)
+
+(* ---- mp (message-passing emulation) ---- *)
+
+let mp_cmd topo algo_name workload_name steps seed disc random_init bias =
+  let h = or_die (topology topo) in
+  let workload = or_die (workload workload_name ~disc h) in
+  let module Run (A : Snapcc_runtime.Model.ALGO) = struct
+    module E = Snapcc_mp.Mp_engine.Make (A)
+
+    let go () =
+      let eng =
+        E.create ~seed
+          ~init:(if random_init then `Random else `Canonical)
+          ~deliver_bias:bias h
+      in
+      let spec = Spec.create h ~initial:(E.obs eng) in
+      let before = ref (E.obs eng) in
+      for i = 0 to steps - 1 do
+        let inputs = Workload.inputs workload !before in
+        ignore (E.step eng ~inputs);
+        let after = E.obs eng in
+        Spec.on_step spec ~step:i
+          ~request_out:inputs.Snapcc_runtime.Model.request_out ~before:!before
+          ~after;
+        Workload.observe workload ~step:i after;
+        before := after
+      done;
+      Format.printf
+        "%s over message passing: %d steps, %d meetings, %d violations@."
+        A.name steps
+        (List.length (Spec.convened spec))
+        (List.length (Spec.violations spec));
+      Format.printf
+        "messages: %d sent, %d delivered (%d in flight); max staleness %d steps@."
+        (E.messages_sent eng) (E.messages_delivered eng) (E.in_flight eng)
+        (E.max_staleness eng);
+      List.iteri
+        (fun i v -> if i < 10 then Format.printf "  %a@." Spec.pp_violation v)
+        (Spec.violations spec);
+      Format.printf "@.final configuration:@.%a@." (Obs.pp_snapshot h) (E.obs eng)
+  end in
+  match algo_name with
+  | "cc1" -> let module R = Run (X.Cc1) in R.go ()
+  | "cc2" -> let module R = Run (X.Cc2) in R.go ()
+  | "cc3" -> let module R = Run (X.Cc3) in R.go ()
+  | a -> or_die (Error (Printf.sprintf "mp supports cc1|cc2|cc3, not %S" a))
+
+let bias_arg =
+  Arg.(value & opt float 0.5 & info [ "deliver-bias" ] ~docv:"P"
+         ~doc:"Probability a step delivers a message rather than activating \
+               a process (lower = more staleness).")
+
+let mp_term =
+  Term.(
+    const mp_cmd $ topology_arg $ algo_arg $ workload_arg $ steps_arg
+    $ seed_arg $ disc_arg $ random_init_arg $ bias_arg)
+
+(* ---- bounds ---- *)
+
+let bounds_cmd topo =
+  let h = or_die (topology topo) in
+  Format.printf "%a@.@." H.pp h;
+  if H.m h > 18 then
+    Format.printf "(%d committees: exact bounds may take a while)@." (H.m h);
+  Format.printf "%a@." Matching.pp_bounds (Matching.bounds h)
+
+let bounds_term = Term.(const bounds_cmd $ topology_arg)
+
+(* ---- experiment ---- *)
+
+let experiment_cmd id quick =
+  match id with
+  | "all" ->
+    List.iter
+      (fun (e : Registry.entry) ->
+        Format.printf "%a@.@." Table.pp (e.Registry.run ~quick))
+      Registry.all
+  | id ->
+    (match Registry.find id with
+     | Some e -> Format.printf "%a@." Table.pp (e.Registry.run ~quick)
+     | None ->
+       Format.eprintf "ccsim: unknown experiment %S (try `ccsim list')@." id;
+       exit 2)
+
+let experiment_id_arg =
+  Arg.(value & pos 0 string "all" & info [] ~docv:"ID"
+         ~doc:"Experiment id (see `ccsim list'), or `all'.")
+
+let experiment_term = Term.(const experiment_cmd $ experiment_id_arg $ quick_arg)
+
+(* ---- list ---- *)
+
+let list_cmd () =
+  Format.printf "named topologies:@.";
+  List.iter
+    (fun (name, h) -> Format.printf "  %-10s %a@." name H.pp h)
+    (Families.all_named ());
+  Format.printf "  (plus ring<n>, path<n>, star<n>, clique<n>, single<k>)@.@.";
+  Format.printf "algorithms: cc1 cc2 cc3 token-only dining central cc1-no-token@.@.";
+  Format.printf "experiments:@.";
+  List.iter
+    (fun (e : Registry.entry) -> Format.printf "  %-24s %s@." e.Registry.id e.Registry.title)
+    Registry.all
+
+let list_term = Term.(const list_cmd $ const ())
+
+(* ---- main ---- *)
+
+let cmds =
+  [ Cmd.v
+      (Cmd.info "run" ~doc:"Simulate a committee-coordination algorithm under monitors")
+      run_term;
+    Cmd.v (Cmd.info "bounds" ~doc:"Matching-theory bounds of a topology (Theorems 4-8)")
+      bounds_term;
+    Cmd.v
+      (Cmd.info "mp"
+         ~doc:"Simulate over the message-passing emulation (Section 7 future work)")
+      mp_term;
+    Cmd.v (Cmd.info "experiment" ~doc:"Run one of the paper's experiments") experiment_term;
+    Cmd.v (Cmd.info "list" ~doc:"List topologies, algorithms and experiments") list_term;
+  ]
+
+let () =
+  let info =
+    Cmd.info "ccsim" ~version:"1.0.0"
+      ~doc:"Snap-stabilizing committee coordination simulator"
+  in
+  exit (Cmd.eval (Cmd.group info cmds))

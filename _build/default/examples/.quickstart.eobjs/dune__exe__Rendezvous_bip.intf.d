@@ -1,0 +1,1 @@
+examples/rendezvous_bip.mli:

@@ -1,0 +1,58 @@
+(* A department that keeps reorganizing (the paper's §7 "dynamic
+   hypergraphs" future work, as a story).
+
+       dune exec examples/dynamic_department.exe
+
+   The department starts as Fig. 1, then: the dean creates a new committee
+   {5,6}; the unwieldy committee {1,2,3,4} is dissolved; professor 7 is
+   hired into two committees; professor 7 retires.  Between phases the
+   running states are carried over verbatim — pointers to a dissolved
+   committee dangle, the spanning tree loses a node — which is precisely a
+   transient fault, and snap-stabilization absorbs it: the monitors report
+   zero violations in every phase and meetings resume within a few steps. *)
+
+module H = Snapcc_hypergraph.Hypergraph
+module Daemon = Snapcc_runtime.Daemon
+module Workload = Snapcc_workload.Workload
+module Exp = Snapcc_experiments.Exp_dynamic
+module Algos = Snapcc_experiments.Algos
+module Driver = Snapcc_experiments.Driver
+
+let () =
+  let carried = ref None in
+  List.iteri
+    (fun i (label, h) ->
+      Format.printf "== phase %d: %s ==@." (i + 1) label;
+      Format.printf "   %a@." H.pp h;
+      let init_states =
+        match !carried with
+        | None -> None
+        | Some (old_h, states) ->
+          let cc = Array.map fst states and tc = Array.map snd states in
+          Some (Exp.translate ~old_h ~new_h:h cc tc)
+      in
+      let r, final_states =
+        Algos.Run_cc2.run_with_states ~seed:(70 + i) ?init_states
+          ~daemon:(Daemon.random_subset ())
+          ~workload:(Workload.always_requesting h) ~record_trace:true
+          ~steps:6_000 h
+      in
+      carried := Some (h, final_states);
+      assert (r.Driver.violations = []);
+      (match r.Driver.convened with
+       | (step, e) :: _ ->
+         Format.printf "   first meeting: %a at step %d@." (H.pp_edge h) e step
+       | [] -> ());
+      Format.printf "   meetings: %d, violations: %d, everyone served: %b@."
+        r.Driver.summary.Snapcc_analysis.Metrics.convenes
+        (List.length r.Driver.violations)
+        (Array.for_all (fun c -> c > 0) r.Driver.participations);
+      (match r.Driver.trace with
+       | Some trace ->
+         Format.printf "%a@." (Snapcc_runtime.Trace.pp_timeline ~width:56) trace
+       | None -> ());
+      Format.printf "@.")
+    (Exp.phases ());
+  Format.printf
+    "every reorganization was absorbed as a transient fault: zero bad \
+     meetings, immediate resumption (Section 7, dynamic hypergraphs).@."

@@ -1,0 +1,68 @@
+(* Snap-stabilization on display: corrupt everything mid-run, watch the
+   specification keep holding for every meeting convened afterwards.
+
+       dune exec examples/fault_recovery.exe
+
+   The run starts from an arbitrary configuration (as if transient faults
+   had just hit), and half-way through a second burst of faults corrupts
+   every process — committee pointers, statuses, lock flags, the whole
+   token-circulation layer.  Snap-stabilization (Theorem 3) promises:
+
+   - meetings convened after the faults satisfy the full specification
+     (synchronization, exclusion, 2-phase discussion) — no warm-up period;
+   - professor fairness resumes: everybody keeps getting served.
+
+   The specification monitor checks every transition; the only exemption is
+   for meetings that were already in progress when a fault hit (the paper:
+   "there is no guarantee for the meetings started during the faults"). *)
+
+module H = Snapcc_hypergraph.Hypergraph
+module Families = Snapcc_hypergraph.Families
+module Daemon = Snapcc_runtime.Daemon
+module Workload = Snapcc_workload.Workload
+module Metrics = Snapcc_analysis.Metrics
+module Algos = Snapcc_experiments.Algos
+module Driver = Snapcc_experiments.Driver
+
+let () =
+  let h = Families.fig4 () in
+  let n = H.n h in
+  let steps = 16_000 in
+  let fault_step = steps / 2 in
+  Format.printf "system: %a@.@." H.pp h;
+  Format.printf
+    "starting from an ARBITRARY configuration; at step %d a transient fault \
+     corrupts all %d processes.@.@."
+    fault_step n;
+  let faults ~step = if step = fault_step then List.init n Fun.id else [] in
+  let r =
+    Algos.Run_cc2.run ~seed:13 ~init:`Random ~faults
+      ~daemon:(Daemon.random_subset ())
+      ~workload:(Workload.always_requesting h) ~steps h
+  in
+  Format.printf "%a@.@." Driver.pp_result r;
+
+  (* convene activity before and after the fault *)
+  let before, after =
+    List.partition (fun (step, _) -> step < fault_step) r.Driver.convened
+  in
+  Format.printf "meetings convened before the fault: %d, after: %d@."
+    (List.length before) (List.length after);
+  Format.printf "spec violations across the whole run: %d@.@."
+    (List.length r.Driver.violations);
+
+  assert (r.Driver.violations = []);
+  assert (List.length after > 0);
+  assert (Array.for_all (fun c -> c > 0) r.Driver.participations);
+
+  (* how quickly did meetings resume after the fault? *)
+  (match after with
+   | (first, e) :: _ ->
+     Format.printf
+       "first post-fault meeting: committee %a at step %d (%d steps after the \
+        fault).@."
+       (H.pp_edge h) e first (first - fault_step)
+   | [] -> ());
+  Format.printf
+    "every professor was served both before and after the faults — \
+     snap-stabilization means zero warm-up, zero bad meetings.@."

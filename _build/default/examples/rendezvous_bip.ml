@@ -1,0 +1,74 @@
+(* Multiparty rendezvous for component-based code generation (the paper's
+   §1 motivation: CSP / Ada / BIP interactions).
+
+       dune exec examples/rendezvous_bip.exe
+
+   A small pipeline of components — two producers, a shared bus, two
+   consumers — whose multiparty interactions are committees:
+
+       transfer1  = {producer1, bus, consumer1}   (data moves through the bus)
+       transfer2  = {producer2, bus, consumer2}
+       prod_sync  = {producer1, producer2}        (rate coordination)
+       cons_sync  = {consumer1, consumer2}
+
+   The two transfers conflict on the bus, so they must be mutually
+   exclusive; the sync interactions conflict with the transfers on their
+   endpoints.  A committee-coordination algorithm is exactly the conflict
+   resolution layer a distributed code generator needs — and CC1's Maximal
+   Concurrency means: whenever the two ends of an interaction are ready and
+   nothing overlapping is running, the interaction fires.
+
+   Components compute between rendezvous (bursty requests), and a transfer
+   holds the bus for a couple of steps (the 2-phase discussion: both ends
+   must execute the data exchange — the essential phase — before either may
+   disengage). *)
+
+module H = Snapcc_hypergraph.Hypergraph
+module Daemon = Snapcc_runtime.Daemon
+module Workload = Snapcc_workload.Workload
+module Metrics = Snapcc_analysis.Metrics
+module Algos = Snapcc_experiments.Algos
+module Driver = Snapcc_experiments.Driver
+
+let components = [| "producer1"; "producer2"; "bus"; "consumer1"; "consumer2" |]
+let p1 = 0
+and p2 = 1
+and bus = 2
+and c1 = 3
+and c2 = 4
+
+let interactions =
+  [ ("transfer1", [ p1; bus; c1 ]);
+    ("transfer2", [ p2; bus; c2 ]);
+    ("prod_sync", [ p1; p2 ]);
+    ("cons_sync", [ c1; c2 ]);
+  ]
+
+let () =
+  let h = H.create ~n:(Array.length components) (List.map snd interactions) in
+  Format.printf "component system: %a@.@." H.pp h;
+  (* components compute for a while between rendezvous *)
+  let workload =
+    Workload.bursty ~seed:5 ~p_request:0.25 ~disc_len:(fun _ -> 2) h
+  in
+  let r =
+    Algos.Run_cc1.run ~seed:7 ~daemon:(Daemon.random_subset ()) ~workload
+      ~steps:20_000 h
+  in
+  assert (r.Driver.violations = []);
+  Format.printf "%a@.@." Driver.pp_result r;
+
+  Format.printf "%-10s fired@." "interaction";
+  List.iteri
+    (fun e (name, _) -> Format.printf "%-10s %5d@." name r.Driver.convene_count.(e))
+    interactions;
+
+  (* the bus is the bottleneck: transfers are serialized on it, while
+     prod_sync/cons_sync can overlap each other and nothing else *)
+  let fired e = r.Driver.convene_count.(e) in
+  assert (fired 0 > 0 && fired 1 > 0 && fired 2 > 0 && fired 3 > 0);
+  Format.printf
+    "@.every interaction fired; exclusion held on the bus throughout \
+     (%d transfers serialized), max %d interactions overlapped.@."
+    (fired 0 + fired 1)
+    r.Driver.summary.Metrics.max_concurrency

@@ -1,0 +1,1 @@
+lib/analysis/metrics.ml: Array Format List Snapcc_hypergraph Snapcc_runtime String

@@ -1,0 +1,1 @@
+lib/analysis/metrics.mli: Format Snapcc_hypergraph Snapcc_runtime

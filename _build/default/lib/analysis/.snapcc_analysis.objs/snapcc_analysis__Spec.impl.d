@@ -1,0 +1,1 @@
+lib/analysis/spec.ml: Array Format List Printf Snapcc_hypergraph Snapcc_runtime

@@ -1,0 +1,1 @@
+lib/analysis/spec.mli: Format Snapcc_hypergraph Snapcc_runtime

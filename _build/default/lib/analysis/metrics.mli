@@ -1,0 +1,40 @@
+(** Quantitative trace metrics: concurrency degree, waiting times,
+    throughput, starvation — the measurements behind the §3.3/§5.3
+    experiments. *)
+
+type summary = {
+  steps : int;  (** transitions observed *)
+  rounds : int;  (** rounds completed at the end of the run *)
+  convenes : int;  (** meetings convened *)
+  convene_per_edge : int array;
+  participation : int array;  (** per professor *)
+  mean_concurrency : float;  (** average number of simultaneous meetings *)
+  max_concurrency : int;
+  completed_waits_steps : int list;  (** durations of served waiting spans *)
+  completed_waits_rounds : int list;
+  open_waits_steps : int list;  (** still-waiting spans at the end (per professor still waiting) *)
+  max_wait_steps : int;  (** max over completed and open spans *)
+  max_wait_rounds : int;
+  starved : int list;  (** professors whose final open span is the longest-running *)
+}
+
+type t
+
+val create : Snapcc_hypergraph.Hypergraph.t -> initial:Snapcc_runtime.Obs.t array -> t
+
+val on_step :
+  t -> step:int -> round:int ->
+  before:Snapcc_runtime.Obs.t array -> after:Snapcc_runtime.Obs.t array -> unit
+
+val finish : t -> step:int -> round:int -> summary
+(** Close the books; open waiting spans are measured up to [step]/[round]. *)
+
+val mean : int list -> float
+
+val maximum : int list -> int
+
+val percentile : float -> int list -> int
+(** [percentile 0.95 waits] with nearest-rank semantics; 0 on the empty
+    list.  Used for the waiting-time distribution tables. *)
+
+val pp_summary : Format.formatter -> summary -> unit

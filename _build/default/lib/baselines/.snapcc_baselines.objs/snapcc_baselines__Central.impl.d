@@ -1,0 +1,1 @@
+lib/baselines/central.ml: Array Format Fun List Random Snapcc_core Snapcc_hypergraph Snapcc_runtime

@@ -1,0 +1,1 @@
+lib/baselines/central.mli: Snapcc_core Snapcc_runtime

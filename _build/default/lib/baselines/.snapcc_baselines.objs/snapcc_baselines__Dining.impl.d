@@ -1,0 +1,1 @@
+lib/baselines/dining.ml: Array Format List Random Snapcc_core Snapcc_hypergraph Snapcc_runtime

@@ -1,0 +1,1 @@
+lib/baselines/dining.mli: Snapcc_core Snapcc_hypergraph Snapcc_runtime

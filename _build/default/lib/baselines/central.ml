@@ -1,0 +1,177 @@
+(** Centralized manager baseline (Bagrodia's managers [3], degenerated to a
+    single manager, §6).
+
+    Process 0 is the coordinator: it reads the whole configuration (this
+    baseline deliberately violates locality — run it without the engine's
+    locality check) and publishes an assignment plan mapping professors to
+    committees; the plan's image is always a matching, giving Exclusion.
+    Professors adopt their assignment, convene, discuss and leave.  Greedy
+    assignment by committee id: good concurrency, no fairness, no
+    stabilization — the manager contrast point for EXP-BASE. *)
+
+module H = Snapcc_hypergraph.Hypergraph
+module Model = Snapcc_runtime.Model
+module Obs = Snapcc_runtime.Obs
+open Snapcc_core.Cc_common
+
+type state = {
+  s : status;
+  ptr : int option;
+  plan : int option array;  (** coordinator only: assignment per professor *)
+  disc : int;
+}
+
+let name = "central-baseline"
+let coordinator = 0
+
+let pp_state ppf st =
+  Format.fprintf ppf "S=%a P=%s" pp_status st.s
+    (match st.ptr with None -> "-" | Some e -> "e" ^ string_of_int e)
+
+let equal_state (a : state) b =
+  a.s = b.s && a.ptr = b.ptr && a.disc = b.disc && a.plan = b.plan
+
+(* Greedy plan: keep assignments of professors still engaged, then assign
+   every fully-looking unassigned committee that conflicts with nothing
+   already planned, in committee-id order.  Assignments are kept as a
+   group: once any member of a committee has been served (went idle, its
+   entry dropped), the whole committee's surviving entries are dropped too,
+   otherwise a professor that cycled idle→looking between two [Plan] steps
+   would keep a stale entry forever and deadlock its partners. *)
+let computed_plan h read =
+  let n = H.n h in
+  let current = ((read coordinator) : state).plan in
+  let plan =
+    Array.init n (fun p ->
+        let kept = if Array.length current = n then current.(p) else None in
+        match kept with
+        | Some e
+          when (let s = ((read p) : state).s in
+                s = Looking || s = Waiting) ->
+          Some e
+        | Some _ | None -> None)
+  in
+  let complete e =
+    Array.for_all (fun q -> plan.(q) = Some e) (H.edge_members h e)
+  in
+  Array.iteri
+    (fun p entry ->
+      match entry with
+      | Some e when not (complete e) -> plan.(p) <- None
+      | Some _ | None -> ())
+    (Array.copy plan);
+  let image = Array.to_list plan |> List.filter_map Fun.id |> List.sort_uniq compare in
+  let image = ref image in
+  for e = 0 to H.m h - 1 do
+    let members = H.edge_members h e in
+    let assignable =
+      (not (List.mem e !image))
+      && Array.for_all
+           (fun q -> ((read q) : state).s = Looking && plan.(q) = None)
+           members
+      && not (List.exists (fun e' -> H.conflicting h e e') !image)
+    in
+    if assignable then begin
+      Array.iter (fun q -> plan.(q) <- Some e) members;
+      image := e :: !image
+    end
+  done;
+  plan
+
+let ready h read p =
+  Array.exists
+    (fun e ->
+      Array.for_all
+        (fun q ->
+          let sq : state = read q in
+          sq.ptr = Some e && (sq.s = Looking || sq.s = Waiting))
+        (H.edge_members h e))
+    (H.incident h p)
+
+let meeting h read p =
+  Array.exists
+    (fun e ->
+      Array.for_all
+        (fun q ->
+          let sq : state = read q in
+          sq.ptr = Some e && (sq.s = Waiting || sq.s = Done))
+        (H.edge_members h e))
+    (H.incident h p)
+
+let leave_meeting h read p =
+  Array.exists
+    (fun e ->
+      ((read p) : state).ptr = Some e
+      && ((read p) : state).s = Done
+      && Array.for_all
+           (fun q ->
+             let sq : state = read q in
+             sq.ptr <> Some e || sq.s = Done)
+           (H.edge_members h e))
+    (H.incident h p)
+
+let actions h : state Model.action list =
+  let rd (ctx : state Model.ctx) = ctx.Model.read in
+  let self (ctx : state Model.ctx) = ctx.Model.self in
+  let me ctx : state = ctx.Model.read ctx.Model.self in
+  let my_assignment ctx =
+    let plan = (((rd ctx) coordinator) : state).plan in
+    if Array.length plan = H.n h then plan.(self ctx) else None
+  in
+  [ { Model.label = "Request";
+      guard = (fun ctx -> (me ctx).s = Idle && ctx.Model.inputs.Model.request_in (self ctx));
+      apply = (fun ctx -> { (me ctx) with s = Looking; ptr = None }) };
+    { Model.label = "Plan";
+      guard =
+        (fun ctx ->
+          self ctx = coordinator && (me ctx).plan <> computed_plan h (rd ctx));
+      apply = (fun ctx -> { (me ctx) with plan = computed_plan h (rd ctx) }) };
+    { Model.label = "Sync";
+      guard = (fun ctx -> (me ctx).s = Looking && (me ctx).ptr <> my_assignment ctx);
+      apply = (fun ctx -> { (me ctx) with ptr = my_assignment ctx }) };
+    { Model.label = "Enter";
+      guard = (fun ctx -> (me ctx).s = Looking && ready h (rd ctx) (self ctx));
+      apply = (fun ctx -> { (me ctx) with s = Waiting }) };
+    { Model.label = "Discuss";
+      guard = (fun ctx -> (me ctx).s = Waiting && meeting h (rd ctx) (self ctx));
+      apply = (fun ctx -> { (me ctx) with s = Done; disc = (me ctx).disc + 1 }) };
+    { Model.label = "Leave";
+      guard =
+        (fun ctx ->
+          leave_meeting h (rd ctx) (self ctx)
+          && ctx.Model.inputs.Model.request_out (self ctx));
+      apply = (fun ctx -> { (me ctx) with s = Idle; ptr = None }) };
+  ]
+
+let init h p =
+  {
+    s = Idle;
+    ptr = None;
+    plan = (if p = coordinator then Array.make (H.n h) None else [||]);
+    disc = 0;
+  }
+
+let random_init h rng p =
+  let statuses = [| Idle; Looking; Waiting; Done |] in
+  let incident = H.incident h p in
+  let pick () =
+    if Random.State.bool rng then None
+    else Some incident.(Random.State.int rng (Array.length incident))
+  in
+  {
+    s = statuses.(Random.State.int rng 4);
+    ptr = pick ();
+    plan =
+      (if p = coordinator then
+         Array.init (H.n h) (fun q ->
+             if Random.State.bool rng then None
+             else
+               let inc = H.incident h q in
+               Some inc.(Random.State.int rng (Array.length inc)))
+       else [||]);
+    disc = 0;
+  }
+
+let observe _h states p =
+  let st : state = states.(p) in
+  Obs.make ~pointer:st.ptr ~discussions:st.disc (to_obs_status st.s)

@@ -1,0 +1,21 @@
+(** Centralized manager baseline (Bagrodia's managers [3], degenerated to a
+    single manager, §6).
+
+    Process 0 is the coordinator: it reads the whole configuration — this
+    baseline deliberately violates locality, so run it without the engine's
+    locality check — and publishes an assignment plan whose image is always
+    a matching (Exclusion).  Greedy by committee id: good concurrency, no
+    fairness, no stabilization guarantee.
+    Implements {!Snapcc_runtime.Model.ALGO}. *)
+
+type state = {
+  s : Snapcc_core.Cc_common.status;
+  ptr : int option;
+  plan : int option array;  (** coordinator only: assignment per professor *)
+  disc : int;
+}
+
+include Snapcc_runtime.Model.ALGO with type state := state
+
+val coordinator : int
+(** The manager's vertex (0). *)

@@ -1,0 +1,168 @@
+(** Dining-philosophers reduction baseline (Chandy–Misra [2], §6).
+
+    Each committee is a philosopher, hosted at its minimum-identifier
+    member; the {e professors themselves are the forks} (the paper:
+    "neighboring philosophers have a common member").  Deadlock is avoided
+    by ordered acquisition: a professor grants itself to a pursuing
+    committee only once every smaller-identifier member is already granted.
+    A meeting eats once the committee owns all of its members.
+
+    This baseline meets Exclusion and Synchronization, and Progress under
+    ordered acquisition, but it is {e neither} snap-stabilizing {e nor}
+    fair, and its concurrency is whatever greedy acquisition yields — the
+    contrast points for the related-work benches (EXP-BASE). *)
+
+module H = Snapcc_hypergraph.Hypergraph
+module Model = Snapcc_runtime.Model
+module Obs = Snapcc_runtime.Obs
+open Snapcc_core.Cc_common
+
+type state = {
+  s : status;
+  owner : int option;  (** committee currently holding this professor-fork *)
+  choice : int option;  (** as host: the hosted committee being pursued *)
+  disc : int;
+}
+
+let name = "dining-baseline"
+
+let pp_state ppf st =
+  Format.fprintf ppf "S=%a owner=%s choice=%s" pp_status st.s
+    (match st.owner with None -> "-" | Some e -> "e" ^ string_of_int e)
+    (match st.choice with None -> "-" | Some e -> "e" ^ string_of_int e)
+
+let equal_state (a : state) b = a = b
+
+(* Host of a committee: its minimum-identifier member. *)
+let host h e =
+  let members = H.edge_members h e in
+  Array.fold_left
+    (fun best q -> if H.id h q < H.id h best then q else best)
+    members.(0) members
+
+let hosted h p =
+  Array.to_list (H.incident h p) |> List.filter (fun e -> host h e = p)
+
+let all_members_looking h read e =
+  Array.for_all (fun q -> ((read q) : state).s = Looking) (H.edge_members h e)
+
+let fully_owned h read e =
+  Array.for_all (fun q -> ((read q) : state).owner = Some e) (H.edge_members h e)
+
+let meets h read e =
+  Array.for_all
+    (fun q ->
+      let sq : state = read q in
+      sq.owner = Some e && (sq.s = Waiting || sq.s = Done))
+    (H.edge_members h e)
+
+(* The committee the host should pursue.  The current choice is sticky while
+   it stays viable (abandoning an acquisition midway would livelock);
+   otherwise the smallest assemblable hosted committee is picked. *)
+let desired_choice h read p =
+  let viable e = all_members_looking h read e || fully_owned h read e in
+  match ((read p) : state).choice with
+  | Some e when List.exists (fun e' -> e' = e && viable e) (hosted h p) -> Some e
+  | Some _ | None -> List.find_opt viable (hosted h p)
+
+(* Grant candidates of professor [q]: pursued committees containing [q]
+   whose smaller-identifier members are already owned, honoring the
+   acquisition order.  All members must be looking: a stale owner left over
+   from a finished-but-not-yet-dissolved meeting must not seed a new one. *)
+let grant_candidates h read q =
+  Array.to_list (H.incident h q)
+  |> List.filter (fun e ->
+         (((read (host h e)) : state).choice = Some e)
+         && all_members_looking h read e
+         && Array.for_all
+              (fun r ->
+                H.id h r >= H.id h q || ((read r) : state).owner = Some e)
+              (H.edge_members h e))
+
+let leave_meeting h read p =
+  match ((read p) : state).owner with
+  | None -> false
+  | Some e ->
+    ((read p) : state).s = Done
+    && Array.for_all
+         (fun q ->
+           let sq : state = read q in
+           sq.owner <> Some e || sq.s = Done)
+         (H.edge_members h e)
+
+let actions h : state Model.action list =
+  let rd (ctx : state Model.ctx) = ctx.Model.read in
+  let self (ctx : state Model.ctx) = ctx.Model.self in
+  let me ctx : state = ctx.Model.read ctx.Model.self in
+  [ { Model.label = "Request";
+      guard = (fun ctx -> (me ctx).s = Idle && ctx.Model.inputs.Model.request_in (self ctx));
+      apply = (fun ctx -> { (me ctx) with s = Looking; owner = None }) };
+    { Model.label = "Choose";
+      guard =
+        (fun ctx ->
+          hosted h (self ctx) <> []
+          && (me ctx).choice <> desired_choice h (rd ctx) (self ctx));
+      apply = (fun ctx -> { (me ctx) with choice = desired_choice h (rd ctx) (self ctx) }) };
+    { Model.label = "Revoke";
+      guard =
+        (fun ctx ->
+          match (me ctx).owner with
+          | None -> false
+          | Some e ->
+            (me ctx).s = Looking
+            && (((rd ctx) (host h e)) : state).choice <> Some e);
+      apply = (fun ctx -> { (me ctx) with owner = None }) };
+    { Model.label = "Grant";
+      guard =
+        (fun ctx ->
+          (me ctx).s = Looking && (me ctx).owner = None
+          && grant_candidates h (rd ctx) (self ctx) <> []);
+      apply =
+        (fun ctx ->
+          match grant_candidates h (rd ctx) (self ctx) with
+          | e :: rest -> { (me ctx) with owner = Some (List.fold_left min e rest) }
+          | [] -> me ctx) };
+    { Model.label = "Enter";
+      guard =
+        (fun ctx ->
+          (me ctx).s = Looking
+          && (match (me ctx).owner with
+              | Some e ->
+                fully_owned h (rd ctx) e
+                && Array.for_all
+                     (fun q ->
+                       let sq : state = (rd ctx) q in
+                       sq.s = Looking || sq.s = Waiting)
+                     (H.edge_members h e)
+              | None -> false));
+      apply = (fun ctx -> { (me ctx) with s = Waiting }) };
+    { Model.label = "Discuss";
+      guard =
+        (fun ctx ->
+          (me ctx).s = Waiting
+          && (match (me ctx).owner with
+              | Some e -> meets h (rd ctx) e
+              | None -> false));
+      apply = (fun ctx -> { (me ctx) with s = Done; disc = (me ctx).disc + 1 }) };
+    { Model.label = "Leave";
+      guard =
+        (fun ctx ->
+          leave_meeting h (rd ctx) (self ctx)
+          && ctx.Model.inputs.Model.request_out (self ctx));
+      apply = (fun ctx -> { (me ctx) with s = Idle; owner = None; choice = None }) };
+  ]
+
+let init _ _ = { s = Idle; owner = None; choice = None; disc = 0 }
+
+let random_init h rng p =
+  let statuses = [| Idle; Looking; Waiting; Done |] in
+  let incident = H.incident h p in
+  let pick () =
+    if Random.State.bool rng then None
+    else Some incident.(Random.State.int rng (Array.length incident))
+  in
+  { s = statuses.(Random.State.int rng 4); owner = pick (); choice = pick (); disc = 0 }
+
+let observe _h states p =
+  let st : state = states.(p) in
+  Obs.make ~pointer:st.owner ~discussions:st.disc (to_obs_status st.s)

@@ -1,0 +1,1 @@
+lib/core/cc1.ml: Array Cc_common Default_params Format List Printf Random Snapcc_hypergraph Snapcc_runtime Snapcc_token

@@ -1,0 +1,1 @@
+lib/core/cc_common.ml: Array Format List Snapcc_hypergraph Snapcc_runtime

@@ -1,0 +1,241 @@
+(** Algorithm 1 (paper §4): snap-stabilizing 2-phase committee coordination
+    with {e Maximal Concurrency}, composed with a token layer [T] by fair
+    composition ([CC1 ∘ TC]).
+
+    The transcription is literal: macros, predicates and actions carry the
+    paper's names, actions are listed in the paper's code order (an action
+    appearing later has higher priority, §2.2), and the token layer's
+    internal stabilization actions are appended after them — they are
+    self-disabling, which realizes the fair composition.
+
+    The only liberty is the don't-care choice "[ε such that ε ∈ FreeEdges]"
+    in [Step21], delegated to {!Cc_common.PARAMS}. *)
+
+module H = Snapcc_hypergraph.Hypergraph
+module Model = Snapcc_runtime.Model
+module Obs = Snapcc_runtime.Obs
+open Cc_common
+
+type cc = {
+  s : status;  (** [Sp] *)
+  ptr : int option;  (** [Pp] (committee edge id, [None] = ⊥) *)
+  tf : bool;  (** [Tp], the mirrored token flag *)
+  disc : int;  (** essential discussions performed (observability) *)
+}
+
+module Make (T : Snapcc_token.Layer.S) (P : PARAMS) :
+sig
+  include Model.ALGO with type state = cc * T.state
+
+  val cc : state -> cc
+  val correct : H.t -> read:(int -> state) -> int -> bool
+  (** The [Correct(p)] predicate, exposed for the closure tests (Lemma 3). *)
+end = struct
+  type state = cc * T.state
+
+  let name = Printf.sprintf "CC1∘%s" T.name
+  let cc (c, _) = c
+
+  let pp_state ppf ((c, t) : state) =
+    Format.fprintf ppf "S=%a P=%s T=%b disc=%d | %a" pp_status c.s
+      (match c.ptr with None -> "⊥" | Some e -> "e" ^ string_of_int e)
+      c.tf c.disc T.pp_state t
+
+  let equal_state ((c1, t1) : state) (c2, t2) = c1 = c2 && T.equal_state t1 t2
+
+  (* [Token(p)]: input predicate evaluated on the token layer. *)
+  let token h read p = T.has_token h ~read:(fun q -> snd (read q)) p
+  let release h read p = T.release h ~read:(fun q -> snd (read q)) p
+  let c read p = fst (read p)
+
+  (* ---- macros of Algorithm 1 ---- *)
+
+  let free_edges h read p =
+    Array.to_list (H.incident h p)
+    |> List.filter (fun e ->
+           Array.for_all (fun q -> (c read q).s = Looking) (H.edge_members h e))
+
+  let free_nodes h read p =
+    free_edges h read p
+    |> List.concat_map (members_list h)
+    |> List.sort_uniq compare
+
+  let tfree_nodes h read p = List.filter (fun q -> (c read q).tf) (free_nodes h read p)
+
+  let cands h read p =
+    match tfree_nodes h read p with [] -> free_nodes h read p | l -> l
+
+  (* ---- predicates of Algorithm 1 ---- *)
+
+  let ready h read p =
+    Array.exists
+      (fun e ->
+        Array.for_all
+          (fun q ->
+            let cq = c read q in
+            cq.ptr = Some e && (cq.s = Looking || cq.s = Waiting))
+          (H.edge_members h e))
+      (H.incident h p)
+
+  let local_max h read p = max_by_id h (cands h read p) = Some p
+
+  let max_to_free_edge h read p =
+    let free = free_edges h read p in
+    free <> [] && local_max h read p
+    && (not (ready h read p))
+    && (match (c read p).ptr with None -> true | Some e -> not (List.mem e free))
+
+  let join_local_max h read p =
+    let free = free_edges h read p in
+    free <> []
+    && (not (local_max h read p))
+    && (not (ready h read p))
+    &&
+    match max_by_id h (cands h read p) with
+    | None -> false
+    | Some leader ->
+      List.exists
+        (fun e -> (c read leader).ptr = Some e && (c read p).ptr <> Some e)
+        free
+
+  let meeting h read p =
+    Array.exists
+      (fun e ->
+        Array.for_all
+          (fun q ->
+            let cq = c read q in
+            cq.ptr = Some e && (cq.s = Waiting || cq.s = Done))
+          (H.edge_members h e))
+      (H.incident h p)
+
+  let leave_meeting h read p =
+    Array.exists
+      (fun e ->
+        (c read p).ptr = Some e
+        && Array.for_all
+             (fun q ->
+               let cq = c read q in
+               cq.ptr <> Some e || cq.s = Done)
+             (H.edge_members h e))
+      (H.incident h p)
+
+  let useless h read p =
+    token h read p
+    &&
+    let cp = c read p in
+    cp.s = Idle || (cp.s = Looking && free_edges h read p = [])
+
+  let correct h ~read p =
+    let cp = c read p in
+    (cp.s <> Idle || cp.ptr = None)
+    && (cp.s <> Waiting || ready h read p || meeting h read p)
+    && (cp.s <> Done || meeting h read p || leave_meeting h read p)
+
+  (* ---- actions, in the paper's code order (last = highest priority) ---- *)
+
+  let cc_actions h : state Model.action list =
+    let rd (ctx : state Model.ctx) = ctx.Model.read in
+    let self (ctx : state Model.ctx) = ctx.Model.self in
+    let me ctx = c (rd ctx) (self ctx) in
+    let tc ctx = snd (ctx.Model.read ctx.Model.self) in
+    [ { Model.label = "Step1";
+        guard = (fun ctx -> ctx.Model.inputs.Model.request_in (self ctx) && (me ctx).s = Idle);
+        apply = (fun ctx -> ({ (me ctx) with s = Looking; ptr = None }, tc ctx)) };
+      { Model.label = "Step21";
+        guard = (fun ctx -> max_to_free_edge h (rd ctx) (self ctx));
+        apply =
+          (fun ctx ->
+            let e = P.choose_edge h (free_edges h (rd ctx) (self ctx)) in
+            ({ (me ctx) with ptr = Some e }, tc ctx)) };
+      { Model.label = "Step22";
+        guard = (fun ctx -> join_local_max h (rd ctx) (self ctx));
+        apply =
+          (fun ctx ->
+            let read = rd ctx and p = self ctx in
+            match max_by_id h (cands h read p) with
+            | Some leader -> ({ (me ctx) with ptr = (c read leader).ptr }, tc ctx)
+            | None -> (me ctx, tc ctx)) };
+      { Model.label = "Token1";
+        guard = (fun ctx -> token h (rd ctx) (self ctx) <> (me ctx).tf);
+        apply = (fun ctx -> ({ (me ctx) with tf = token h (rd ctx) (self ctx) }, tc ctx)) };
+      { Model.label = "Token2";
+        guard = (fun ctx -> useless h (rd ctx) (self ctx));
+        apply =
+          (fun ctx ->
+            ({ (me ctx) with tf = false }, release h (rd ctx) (self ctx))) };
+      { Model.label = "Step31";
+        guard = (fun ctx -> ready h (rd ctx) (self ctx) && (me ctx).s = Looking);
+        apply = (fun ctx -> ({ (me ctx) with s = Waiting }, tc ctx)) };
+      { Model.label = "Step32";
+        guard = (fun ctx -> meeting h (rd ctx) (self ctx) && (me ctx).s = Waiting);
+        apply =
+          (fun ctx ->
+            (* 〈EssentialDiscussion〉 then Sp := done *)
+            ({ (me ctx) with s = Done; disc = (me ctx).disc + 1 }, tc ctx)) };
+      { Model.label = "Step4";
+        guard =
+          (fun ctx ->
+            leave_meeting h (rd ctx) (self ctx)
+            && ctx.Model.inputs.Model.request_out (self ctx));
+        apply =
+          (fun ctx ->
+            let tc' =
+              if token h (rd ctx) (self ctx) then release h (rd ctx) (self ctx)
+              else tc ctx
+            in
+            ({ (me ctx) with s = Idle; ptr = None; tf = false }, tc')) };
+    ]
+
+  let stab_actions h : state Model.action list =
+    let rd (ctx : state Model.ctx) = ctx.Model.read in
+    let self (ctx : state Model.ctx) = ctx.Model.self in
+    let me ctx = c (rd ctx) (self ctx) in
+    let tc ctx = snd (ctx.Model.read ctx.Model.self) in
+    [ { Model.label = "Stab1";
+        guard =
+          (fun ctx ->
+            (not (correct h ~read:(rd ctx) (self ctx))) && (me ctx).s = Idle);
+        apply = (fun ctx -> ({ (me ctx) with ptr = None }, tc ctx)) };
+      { Model.label = "Stab2";
+        guard =
+          (fun ctx ->
+            (not (correct h ~read:(rd ctx) (self ctx))) && (me ctx).s <> Idle);
+        apply = (fun ctx -> ({ (me ctx) with s = Looking; ptr = None }, tc ctx)) };
+    ]
+
+  (* Fair composition by priorities: the token layer's self-disabling
+     internal actions preempt the routine committee actions (so neither
+     layer starves the other), but Stab1/Stab2 keep the paper's top
+     priority — after at most one round every process is Correct forever
+     (Corollary 3). *)
+  let actions h =
+    let lift = Model.lift_action ~get:snd ~set:(fun (cc, _) tc -> (cc, tc)) in
+    cc_actions h @ List.map lift (T.internal_actions h) @ stab_actions h
+
+  let init h =
+    let tc_init = T.init h in
+    fun p -> ({ s = Idle; ptr = None; tf = false; disc = 0 }, tc_init p)
+
+  let random_init h rng p =
+    let statuses = [| Idle; Looking; Waiting; Done |] in
+    let incident = H.incident h p in
+    let ptr =
+      if Random.State.bool rng then None
+      else Some incident.(Random.State.int rng (Array.length incident))
+    in
+    ( { s = statuses.(Random.State.int rng 4);
+        ptr;
+        tf = Random.State.bool rng;
+        disc = 0 },
+      T.random_init h rng p )
+
+  let observe h states p =
+    let read = Array.get states in
+    let cp = c read p in
+    Obs.make ~pointer:cp.ptr ~token_flag:cp.tf ~has_token:(token h read p)
+      ~discussions:cp.disc
+      (to_obs_status cp.s)
+end
+
+(** CC1 with the default edge choice. *)
+module Std (T : Snapcc_token.Layer.S) = Make (T) (Default_params)

@@ -1,0 +1,1 @@
+lib/experiments/driver.ml: Format List Snapcc_analysis Snapcc_hypergraph Snapcc_runtime Snapcc_workload

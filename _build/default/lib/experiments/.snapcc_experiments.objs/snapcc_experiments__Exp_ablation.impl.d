@@ -1,0 +1,1 @@
+lib/experiments/exp_ablation.ml: Algos Array Driver Exp_impossibility List Printf Snapcc_analysis Snapcc_hypergraph Snapcc_runtime Snapcc_workload Table

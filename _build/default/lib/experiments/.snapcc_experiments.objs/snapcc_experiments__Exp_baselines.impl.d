@@ -1,0 +1,1 @@
+lib/experiments/exp_baselines.ml: Algos Array Driver List Snapcc_analysis Snapcc_hypergraph Snapcc_runtime Snapcc_workload Table

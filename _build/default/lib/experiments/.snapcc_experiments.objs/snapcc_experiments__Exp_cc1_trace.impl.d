@@ -1,0 +1,1 @@
+lib/experiments/exp_cc1_trace.ml: Algos Driver Format List Printf Snapcc_analysis Snapcc_hypergraph Snapcc_runtime Snapcc_workload Table

@@ -1,0 +1,1 @@
+lib/experiments/exp_committee_fairness.ml: Algos Array Driver List Snapcc_hypergraph Snapcc_runtime Snapcc_workload String Table

@@ -1,0 +1,1 @@
+lib/experiments/exp_common.ml: Array Snapcc_hypergraph Snapcc_runtime

@@ -1,0 +1,1 @@
+lib/experiments/exp_conjecture.ml: Algos Driver Exp_impossibility List Snapcc_analysis Snapcc_hypergraph Snapcc_runtime Table

@@ -1,0 +1,1 @@
+lib/experiments/exp_dynamic.ml: Algos Array Driver List Option Snapcc_analysis Snapcc_core Snapcc_hypergraph Snapcc_runtime Snapcc_token Snapcc_workload Table

@@ -1,0 +1,1 @@
+lib/experiments/exp_fair_concurrency.ml: Algos Driver Exp_common List Printf Snapcc_hypergraph Snapcc_runtime Snapcc_workload Table

@@ -1,0 +1,1 @@
+lib/experiments/exp_fig1.ml: Array Format List Printf Snapcc_hypergraph String Table

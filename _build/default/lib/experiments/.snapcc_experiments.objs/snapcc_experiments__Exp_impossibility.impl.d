@@ -1,0 +1,1 @@
+lib/experiments/exp_impossibility.ml: Algos Array Driver Format List Printf Snapcc_analysis Snapcc_hypergraph Snapcc_runtime Snapcc_workload String Table

@@ -1,0 +1,1 @@
+lib/experiments/exp_locks.ml: Algos Array Driver Exp_common List Printf Snapcc_core Snapcc_hypergraph Snapcc_runtime Snapcc_token Snapcc_workload Table

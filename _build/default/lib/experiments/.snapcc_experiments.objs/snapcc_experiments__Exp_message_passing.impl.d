@@ -1,0 +1,1 @@
+lib/experiments/exp_message_passing.ml: Algos Array Float List Snapcc_analysis Snapcc_hypergraph Snapcc_mp Snapcc_runtime Snapcc_workload Table

@@ -1,0 +1,1 @@
+lib/experiments/exp_priorities.ml: Algos Array Driver List Printf Snapcc_analysis Snapcc_core Snapcc_hypergraph Snapcc_runtime Snapcc_token Snapcc_workload Table

@@ -1,0 +1,1 @@
+lib/experiments/exp_snap.ml: Algos Array Driver Exp_common List Snapcc_analysis Snapcc_hypergraph Snapcc_workload Table

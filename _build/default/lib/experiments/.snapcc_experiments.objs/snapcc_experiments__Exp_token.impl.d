@@ -1,0 +1,1 @@
+lib/experiments/exp_token.ml: Array Exp_common Hashtbl List Printf Snapcc_hypergraph Snapcc_runtime Snapcc_token Table

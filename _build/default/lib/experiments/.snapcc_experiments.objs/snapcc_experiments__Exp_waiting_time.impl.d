@@ -1,0 +1,1 @@
+lib/experiments/exp_waiting_time.ml: Algos Driver Exp_common List Snapcc_analysis Snapcc_hypergraph Snapcc_runtime Snapcc_workload Table

@@ -1,0 +1,75 @@
+(** One-stop runner: engine + workload + specification monitor + metrics.
+
+    Every experiment and most integration tests funnel through
+    [Make(A).run], so each simulated step is judged against the paper's
+    specification ({!Snapcc_analysis.Spec}) and measured
+    ({!Snapcc_analysis.Metrics}). *)
+
+type result = {
+  algo : string;
+  daemon : string;
+  workload : string;
+  outcome : [ `Terminal | `Stopped | `Steps_exhausted ];
+      (** [`Terminal]: the configuration froze and the workload stopped
+          producing inputs (see [stutter_limit]); [`Stopped]: [stop_when]
+          fired; [`Steps_exhausted]: the horizon was reached. *)
+  steps : int;  (** real steps taken (stutters excluded) *)
+  rounds : int;
+  final_obs : Snapcc_runtime.Obs.t array;
+  violations : Snapcc_analysis.Spec.violation list;
+  convened : (int * int) list;  (** [(step, eid)] convene ledger *)
+  convene_count : int array;  (** per committee *)
+  participations : int array;  (** per professor *)
+  summary : Snapcc_analysis.Metrics.summary;
+  trace : Snapcc_runtime.Trace.t option;  (** when [record_trace] *)
+}
+
+val ok : result -> bool
+(** No specification violation was recorded. *)
+
+val pp_result : Format.formatter -> result -> unit
+
+module Make (A : Snapcc_runtime.Model.ALGO) : sig
+  module E : module type of Snapcc_runtime.Engine.Make (A)
+
+  val run_with_states :
+    ?seed:int ->
+    ?init:[ `Canonical | `Random ] ->
+    ?init_states:A.state array ->
+    ?check_locality:bool ->
+    ?faults:(step:int -> int list) ->
+    ?stop_when:(Snapcc_runtime.Obs.t array -> bool) ->
+    ?on_obs:(step:int -> Snapcc_runtime.Obs.t array -> unit) ->
+    ?record_trace:bool ->
+    ?stutter_limit:int ->
+    daemon:Snapcc_runtime.Daemon.t ->
+    workload:Snapcc_workload.Workload.t ->
+    steps:int ->
+    Snapcc_hypergraph.Hypergraph.t ->
+    result * A.state array
+  (** Like {!run}, additionally returning the final typed configuration
+      (used to carry states across dynamic-topology changes).
+
+      [init_states] overrides [init] with an explicit configuration.
+      [faults ~step] names the processes to corrupt before the given step
+      (the monitor is notified, §2.5 exemptions apply).  When the engine
+      reports a terminal configuration the driver {e stutters}: inputs may
+      evolve (discussion timers, request coins), so the run only ends after
+      [stutter_limit] (default 1000) consecutive input-frozen stutters. *)
+
+  val run :
+    ?seed:int ->
+    ?init:[ `Canonical | `Random ] ->
+    ?init_states:A.state array ->
+    ?check_locality:bool ->
+    ?faults:(step:int -> int list) ->
+    ?stop_when:(Snapcc_runtime.Obs.t array -> bool) ->
+    ?on_obs:(step:int -> Snapcc_runtime.Obs.t array -> unit) ->
+    ?record_trace:bool ->
+    ?stutter_limit:int ->
+    daemon:Snapcc_runtime.Daemon.t ->
+    workload:Snapcc_workload.Workload.t ->
+    steps:int ->
+    Snapcc_hypergraph.Hypergraph.t ->
+    result
+end

@@ -1,0 +1,28 @@
+(** Helpers shared by the experiment modules. *)
+
+module H = Snapcc_hypergraph.Hypergraph
+module Obs = Snapcc_runtime.Obs
+module Daemon = Snapcc_runtime.Daemon
+
+(* Detect quiescence of the meeting structure: stop once the (status,
+   pointer) projection of the configuration has not changed for [window]
+   consecutive observations.  Token bookkeeping may keep ticking forever
+   (CC1 circulates the token even when nothing can convene), so engine-level
+   termination is the wrong signal. *)
+let stable_stop ~window () =
+  let last = ref None in
+  let still = ref 0 in
+  fun (obs : Obs.t array) ->
+    let proj = Array.map (fun (o : Obs.t) -> (o.Obs.status, o.Obs.pointer)) obs in
+    (match !last with
+     | Some prev when prev = proj -> incr still
+     | Some _ | None ->
+       last := Some proj;
+       still := 0);
+    !still >= window
+
+let daemons_for_sweep ~quick () =
+  if quick then [ Daemon.synchronous; Daemon.random_subset () ]
+  else Daemon.all_standard ()
+
+let seeds ~quick = if quick then [ 1; 2 ] else [ 1; 2; 3; 4 ]

@@ -1,0 +1,72 @@
+(** EXP-CONJ — the §7 conjecture: Maximal Concurrency and {e bounded}
+    waiting time are (conjectured) incompatible.
+
+    Supporting evidence by simulation: replay the Theorem 1 staggered
+    schedule for growing horizons and track the victim's open waiting span.
+    Under CC1 it grows linearly with the horizon — the wait is unbounded —
+    while CC2's maximum wait stays flat once the horizon exceeds its
+    O(maxDisc × n) bound.  (A simulation cannot prove the conjecture; it
+    shows the separation the conjecture predicts on the adversarial family
+    we can build.) *)
+
+module Families = Snapcc_hypergraph.Families
+module Daemon = Snapcc_runtime.Daemon
+module Metrics = Snapcc_analysis.Metrics
+
+type point = {
+  horizon : int;
+  cc1_max_wait : int;  (** max waiting span, steps (open spans included) *)
+  cc2_max_wait : int;
+}
+
+type result = point list
+
+let measure ~horizon =
+  let wait run =
+    let h = Families.fig2 () in
+    let r =
+      run ~seed:7 ~daemon:(Daemon.random_subset ())
+        ~workload:(Exp_impossibility.staggered h) ~steps:horizon h
+    in
+    (r : Driver.result).Driver.summary.Metrics.max_wait_steps
+  in
+  {
+    horizon;
+    cc1_max_wait =
+      wait (fun ~seed ~daemon ~workload ~steps h ->
+          Algos.Run_cc1.run ~seed ~daemon ~workload ~steps h);
+    cc2_max_wait =
+      wait (fun ~seed ~daemon ~workload ~steps h ->
+          Algos.Run_cc2.run ~seed ~daemon ~workload ~steps h);
+  }
+
+let run ?(quick = false) () : result =
+  let horizons = if quick then [ 2_000; 4_000; 8_000 ] else [ 2_000; 4_000; 8_000; 16_000; 32_000 ] in
+  List.map (fun horizon -> measure ~horizon) horizons
+
+let table (r : result) =
+  {
+    Table.id = "conjecture-bounded-wait";
+    title =
+      "Section 7 conjecture: maximal concurrency vs bounded waiting time \
+       (staggered fig2 schedule)";
+    header = [ "horizon (steps)"; "CC1 max wait"; "CC2 max wait" ];
+    rows =
+      List.map
+        (fun p -> [ Table.i p.horizon; Table.i p.cc1_max_wait; Table.i p.cc2_max_wait ])
+        r;
+    notes =
+      [ "CC1's maximum wait tracks the horizon (professor 5's wait never \
+         ends: unbounded waiting), CC2's saturates: the separation the \
+         conjecture predicts.";
+      ];
+  }
+
+let ok (r : result) =
+  match (r, List.rev r) with
+  | first :: _, last :: _ ->
+    (* CC1's wait grows with the horizon; CC2's stays within a flat bound *)
+    last.cc1_max_wait > 2 * first.cc1_max_wait
+    && last.cc1_max_wait > last.horizon / 2
+    && last.cc2_max_wait < last.horizon / 4
+  | _ -> false

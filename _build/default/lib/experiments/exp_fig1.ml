@@ -1,0 +1,54 @@
+(** EXP-F1 — Fig. 1: a hypergraph and its underlying communication network.
+
+    Structural sanity: rebuilding Fig. 1's system must reproduce exactly
+    the underlying network [G_H] printed in the paper. *)
+
+module H = Snapcc_hypergraph.Hypergraph
+module Families = Snapcc_hypergraph.Families
+
+type result = {
+  committees : string list;
+  network : (int * int) list;  (** edges in paper identifiers *)
+  expected : (int * int) list;
+  matches : bool;
+}
+
+let expected_network =
+  [ (1, 2); (1, 3); (1, 4); (2, 3); (2, 4); (2, 5); (3, 4); (3, 6); (4, 5); (4, 6) ]
+
+let run ?quick:_ () =
+  let h = Families.fig1 () in
+  let network = ref [] in
+  Array.iteri
+    (fun v nbrs ->
+      Array.iter
+        (fun u -> if v < u then network := (H.id h v, H.id h u) :: !network)
+        nbrs)
+    (H.underlying h);
+  let network = List.sort compare !network in
+  {
+    committees =
+      List.init (H.m h) (fun e -> Format.asprintf "%a" (H.pp_edge h) e);
+    network;
+    expected = expected_network;
+    matches = network = expected_network;
+  }
+
+let ok r = r.matches
+
+let table r =
+  {
+    Table.id = "fig1";
+    title = "Fig. 1: hypergraph H and its underlying communication network G_H";
+    header = [ "item"; "value" ];
+    rows =
+      [ [ "committees"; String.concat " " r.committees ];
+        [ "computed G_H";
+          String.concat " " (List.map (fun (a, b) -> Printf.sprintf "{%d,%d}" a b) r.network) ];
+        [ "paper G_H";
+          String.concat " "
+            (List.map (fun (a, b) -> Printf.sprintf "{%d,%d}" a b) r.expected) ];
+        [ "match"; Table.b r.matches ];
+      ];
+    notes = [];
+  }

@@ -1,0 +1,141 @@
+(** EXP-F2 — Fig. 2 / Theorem 1: Maximal Concurrency and Professor Fairness
+    are incompatible.
+
+    We reproduce the proof's adversarial computation on the 5-professor
+    hypergraph [{1,2} {1,3,5} {3,4}]: a reactive workload staggers the
+    meetings of [{1,2}] and [{3,4}] so that professors 1 and 3 are never
+    simultaneously available — committee [{1,3,5}] is never free, and under
+    CC1 (which releases the token when it cannot help, to preserve Maximal
+    Concurrency) professor 5 waits forever.  Under CC2 with the {e same}
+    request pattern, the token eventually reaches professor 5, locks
+    professors 1 and 3 onto [{1,3,5}], and professor 5 meets: fairness at
+    the cost of concurrency. *)
+
+module H = Snapcc_hypergraph.Hypergraph
+module Families = Snapcc_hypergraph.Families
+module Obs = Snapcc_runtime.Obs
+module Daemon = Snapcc_runtime.Daemon
+module Workload = Snapcc_workload.Workload
+
+(* Edge indices in [Families.fig2]: a = {1,2}, b = {1,3,5}, c = {3,4};
+   vertex v carries professor v+1. *)
+let ea = 0
+let eb = 1
+let ec = 2
+let prof5 = 4
+
+(* The proof's schedule, reactive to the observed configuration:
+   - professors 3,4,5 start requesting only once [a] has convened
+     (bootstrapping into configuration A of Fig. 2);
+   - a meeting may end only while the other one is running, in strict
+     alternation (the [turn] flag), so at least one of professors 1 and 3
+     is always engaged and [b] is never free;
+   - committee [b], should it ever meet (it does under CC2), may end
+     freely.  Grants are sticky until the professor actually leaves.
+
+   [RequestOut] must eventually hold during any meeting (§4.2), so a
+   fallback grants it to any meeting older than [t_long] steps.  In CC1's
+   staggered run the alternation resolves within a few dozen steps and the
+   fallback never fires; in CC2's run the locks around [{1,3,5}] prevent
+   the alternation, and the fallback is what lets meetings end — an
+   adaptive adversary, as in the proof of Theorem 1. *)
+let t_long = 400
+
+let staggered h =
+  let n = H.n h in
+  let bootstrapped = ref false in
+  let turn = ref `End_a in
+  let granted = Array.make n false in
+  let age = Array.make (H.m h) 0 in
+  let last = ref None in
+  let observe ~step:_ (obs : Obs.t array) =
+    if Obs.meets h obs ea then bootstrapped := true;
+    for e = 0 to H.m h - 1 do
+      if Obs.meets h obs e then age.(e) <- age.(e) + 1 else age.(e) <- 0
+    done;
+    (match !last with
+     | Some prev ->
+       if Obs.meets h prev ea && (not (Obs.meets h obs ea)) && !turn = `End_a then
+         turn := `End_c;
+       if Obs.meets h prev ec && (not (Obs.meets h obs ec)) && !turn = `End_c then
+         turn := `End_a
+     | None -> ());
+    last := Some (Array.copy obs);
+    let both = Obs.meets h obs ea && Obs.meets h obs ec in
+    Array.iteri
+      (fun p (o : Obs.t) ->
+        match o.Obs.status with
+        | Obs.Idle | Obs.Looking -> granted.(p) <- false
+        | Obs.Waiting | Obs.Done ->
+          let member e = H.mem_edge h ~vertex:p ~eid:e in
+          if Obs.meets h obs eb && member eb then granted.(p) <- true;
+          if both && !turn = `End_a && member ea then granted.(p) <- true;
+          if both && !turn = `End_c && member ec then granted.(p) <- true;
+          for e = 0 to H.m h - 1 do
+            if member e && age.(e) >= t_long then granted.(p) <- true
+          done)
+      obs
+  in
+  Workload.of_closures ~name:"fig2-staggered"
+    ~inputs:(fun _obs ->
+      { Snapcc_runtime.Model.request_in = (fun p -> p <= 1 || !bootstrapped);
+        request_out = (fun p -> granted.(p)) })
+    ~observe
+
+type result = {
+  cc1 : Driver.result;
+  cc2 : Driver.result;
+  cc1_ac_convenes : int;  (** meetings of [{1,2}] and [{3,4}] under CC1 *)
+}
+
+let run ?(quick = false) () =
+  let steps = if quick then 6_000 else 40_000 in
+  let h1 = Families.fig2 () in
+  let r1 =
+    Algos.Run_cc1.run ~seed:7 ~daemon:(Daemon.random_subset ())
+      ~workload:(staggered h1) ~steps h1
+  in
+  let h2 = Families.fig2 () in
+  let r2 =
+    Algos.Run_cc2.run ~seed:7 ~daemon:(Daemon.random_subset ())
+      ~workload:(staggered h2) ~steps h2
+  in
+  {
+    cc1 = r1;
+    cc2 = r2;
+    cc1_ac_convenes = r1.Driver.convene_count.(ea) + r1.Driver.convene_count.(ec);
+  }
+
+let prof5_participations (r : Driver.result) = r.Driver.participations.(prof5)
+
+let table r =
+  let h = Families.fig2 () in
+  let row label (res : Driver.result) =
+    [ label;
+      string_of_int res.Driver.steps;
+      string_of_int res.Driver.summary.Snapcc_analysis.Metrics.convenes;
+      String.concat "/"
+        (Array.to_list (Array.map string_of_int res.Driver.participations));
+      string_of_int res.Driver.participations.(prof5);
+      string_of_int (List.length res.Driver.violations);
+    ]
+  in
+  {
+    Table.id = "fig2-impossibility";
+    title =
+      "Theorem 1: under the staggered schedule, CC1 (maximal concurrency) \
+       starves professor 5; CC2 (fair) serves it";
+    header =
+      [ "algorithm"; "steps"; "convenes"; "participations(1..5)"; "prof5";
+        "violations" ];
+    rows = [ row "CC1 (max concurrency)" r.cc1; row "CC2 (fair)" r.cc2 ];
+    notes =
+      [ Printf.sprintf
+          "CC1 kept meetings %s and %s alternating (%d convenes) while \
+           professor 5 starved - the Fig. 2 cycle A->B->C."
+          (Format.asprintf "%a" (H.pp_edge h) ea)
+          (Format.asprintf "%a" (H.pp_edge h) ec)
+          r.cc1_ac_convenes;
+        "Expected (paper): prof5 participations = 0 under CC1, > 0 under CC2.";
+      ];
+  }

@@ -1,0 +1,167 @@
+(** EXP-MP — the paper's first future-work item (§7): committee
+    coordination in the message-passing model.
+
+    We run the {e unchanged} CC1/CC2 algorithms through the classical
+    state-dissemination transformation ({!Snapcc_mp.Mp_engine}): guards are
+    evaluated against cached neighbor states refreshed by heartbeat
+    messages over coalescing links, under an adversarial-but-fair scheduler
+    and with transient faults hitting cores, caches and channels mid-run.
+
+    What the experiment establishes, on the sampled grid:
+    - the specification verdict (violations of synchronization / 2-phase
+      discussion caused by stale views, if any) — the paper leaves the
+      message-passing design open, so this measures how far the naive
+      emulation gets;
+    - liveness and fairness figures, and the message cost per meeting;
+    - staleness actually exercised (max cache age), to show the runs are
+      genuinely asynchronous rather than lockstep. *)
+
+module H = Snapcc_hypergraph.Hypergraph
+module Families = Snapcc_hypergraph.Families
+module Obs = Snapcc_runtime.Obs
+module Workload = Snapcc_workload.Workload
+module Spec = Snapcc_analysis.Spec
+module Metrics = Snapcc_analysis.Metrics
+
+type run_stats = {
+  algo : string;
+  topo : string;
+  bias : float;
+  steps : int;
+  convenes : int;
+  violations : int;
+  sync_violations : int;  (** exclusion + synchronization (expect 0) *)
+  disc_violations : int;  (** essential/voluntary discussion (the gap) *)
+  unserved : int;
+  msgs_per_convene : float;
+  max_staleness : int;
+}
+
+type result = run_stats list
+
+module Mp_run (A : Snapcc_runtime.Model.ALGO) = struct
+  module E = Snapcc_mp.Mp_engine.Make (A)
+
+  let run ~seed ~bias ~steps ~fault_at h =
+    let eng = E.create ~seed ~init:`Random ~deliver_bias:bias h in
+    let workload = Workload.always_requesting h in
+    let spec = Spec.create h ~initial:(E.obs eng) in
+    let metrics = Metrics.create h ~initial:(E.obs eng) in
+    let before = ref (E.obs eng) in
+    for i = 0 to steps - 1 do
+      if i = fault_at then begin
+        E.corrupt eng ~victims:(List.init (max 1 (H.n h / 3)) (fun k -> (3 * k) mod H.n h));
+        let corrupted = E.obs eng in
+        Spec.on_fault spec corrupted;
+        before := corrupted
+      end;
+      let inputs = Workload.inputs workload !before in
+      let _event = E.step eng ~inputs in
+      let after = E.obs eng in
+      Spec.on_step spec ~step:i ~request_out:inputs.Snapcc_runtime.Model.request_out
+        ~before:!before ~after;
+      Metrics.on_step metrics ~step:i ~round:0 ~before:!before ~after;
+      Workload.observe workload ~step:i after;
+      before := after
+    done;
+    let summary = Metrics.finish metrics ~step:steps ~round:0 in
+    (spec, summary, eng)
+end
+
+module Cc1_mp = Mp_run (Algos.Cc1)
+module Cc2_mp = Mp_run (Algos.Cc2)
+
+let measure ~algo ~topo ~bias ~steps _h run =
+  let spec, (summary : Metrics.summary), (msgs, staleness) = run in
+  let vs = Spec.violations spec in
+  let count rules =
+    List.length (List.filter (fun (v : Spec.violation) -> List.mem v.Spec.rule rules) vs)
+  in
+  {
+    algo;
+    topo;
+    bias;
+    steps;
+    convenes = summary.Metrics.convenes;
+    violations = List.length vs;
+    sync_violations = count [ "exclusion"; "synchronization" ];
+    disc_violations = count [ "essential-discussion"; "voluntary-discussion" ];
+    unserved =
+      Array.fold_left
+        (fun a c -> if c = 0 then a + 1 else a)
+        0 (Spec.participations spec);
+    msgs_per_convene =
+      (if summary.Metrics.convenes = 0 then Float.infinity
+       else float_of_int msgs /. float_of_int summary.Metrics.convenes);
+    max_staleness = staleness;
+  }
+
+let run ?(quick = false) () : result =
+  let steps = if quick then 30_000 else 80_000 in
+  let topos =
+    if quick then [ ("fig1", Families.fig1 ()) ]
+    else [ ("fig1", Families.fig1 ()); ("fig4", Families.fig4 ()); ("ring6", Families.pair_ring 6) ]
+  in
+  let biases = if quick then [ 0.5 ] else [ 0.7; 0.35 ] in
+  let seeds = if quick then [ 1 ] else [ 1; 2 ] in
+  List.concat_map
+    (fun (topo, h) ->
+      List.concat_map
+        (fun bias ->
+          List.concat_map
+            (fun seed ->
+              let fault_at = steps / 2 in
+              let r1 =
+                let spec, summary, eng = Cc1_mp.run ~seed ~bias ~steps ~fault_at h in
+                measure ~algo:"CC1/mp" ~topo ~bias ~steps h
+                  (spec, summary, (Cc1_mp.E.messages_delivered eng, Cc1_mp.E.max_staleness eng))
+              in
+              let r2 =
+                let spec, summary, eng = Cc2_mp.run ~seed ~bias ~steps ~fault_at h in
+                measure ~algo:"CC2/mp" ~topo ~bias ~steps h
+                  (spec, summary, (Cc2_mp.E.messages_delivered eng, Cc2_mp.E.max_staleness eng))
+              in
+              [ r1; r2 ])
+            seeds)
+        biases)
+    topos
+
+let table (r : result) =
+  {
+    Table.id = "mp-future-work";
+    title =
+      "Message-passing emulation (state dissemination over coalescing \
+       links): the Section 7 future-work probe";
+    header =
+      [ "algorithm"; "topology"; "deliver bias"; "convenes"; "sync viol";
+        "disc viol"; "unserved"; "msgs/convene"; "max staleness" ];
+    rows =
+      List.map
+        (fun s ->
+          [ s.algo; s.topo; Table.f2 s.bias; Table.i s.convenes;
+            Table.i s.sync_violations; Table.i s.disc_violations;
+            Table.i s.unserved; Table.f1 s.msgs_per_convene;
+            Table.i s.max_staleness ])
+        r;
+    notes =
+      [ "Runs start from arbitrary cores, caches AND channels, with a \
+         mid-run fault burst; the monitor judges the true (core) \
+         configuration.";
+        "Measured finding: Exclusion holds by construction (a professor's \
+         pointer is its own variable) and no Synchronization violation was \
+         observed on the grid, but Essential Discussion measurably breaks \
+         — a professor can leave on a stale view before a slow member has \
+         discussed.  This is the gap the paper's future-work item must \
+         close.";
+      ];
+  }
+
+let total_violations (r : result) = List.fold_left (fun a s -> a + s.violations) 0 r
+
+let ok (r : result) =
+  List.for_all (fun s -> s.convenes > 0) r
+  && List.for_all (fun s -> s.algo <> "CC2/mp" || s.unserved = 0) r
+  (* exclusion and synchronization survive staleness... *)
+  && List.for_all (fun s -> s.sync_violations = 0) r
+  (* ...while 2-phase discussion measurably does not: the open problem *)
+  && List.exists (fun s -> s.disc_violations > 0) r

@@ -1,0 +1,114 @@
+(** EXP-PRIO — the §7 future-work direction "enforcing priorities on
+    convening committees".
+
+    The algorithms leave the committee choice in [Step21]/[Step11] as a
+    don't-care; {!Snapcc_core.Cc_common.Weighted_params} resolves it by a
+    static weight.  On the 3-uniform ring (all committees structurally
+    identical, so any skew is attributable to the strategy) we declare one
+    committee "urgent" and measure how its share of convenes shifts against
+    the unweighted run — for CC1 (where the hint bites) and for CC3 (whose
+    token-driven round-robin selection bypasses the don't-care almost
+    entirely: committee fairness leaves no room for priorities, a finding
+    in itself). *)
+
+module H = Snapcc_hypergraph.Hypergraph
+module Families = Snapcc_hypergraph.Families
+module Daemon = Snapcc_runtime.Daemon
+module Workload = Snapcc_workload.Workload
+module Metrics = Snapcc_analysis.Metrics
+
+let urgent = 5
+
+module Urgent_params = Snapcc_core.Cc_common.Weighted_params (struct
+  let weight e = if e = urgent then 100 else 0
+end)
+
+module Cc1_prio =
+  Snapcc_core.Cc1.Make (Snapcc_token.Token_tree) (Urgent_params)
+module Cc3_prio =
+  Snapcc_core.Cc23.Make (Snapcc_token.Token_tree)
+    (Snapcc_core.Cc23.Cc3_variant)
+    (Urgent_params)
+module Run_cc1_prio = Driver.Make (Cc1_prio)
+module Run_cc3_prio = Driver.Make (Cc3_prio)
+
+type row = {
+  algo : string;
+  weighted : bool;
+  urgent_share : float;  (** convenes of committee 0 / total convenes *)
+  fair_share : float;  (** 1/m, the neutral share *)
+  total : int;
+  violations : int;
+  starved_committees : int;
+}
+
+type result = row list
+
+let measure ~steps algo weighted run =
+  let h = Families.k_uniform_ring ~n:9 ~k:3 in
+  let r =
+    (run ~seed:23 ~daemon:(Daemon.random_subset ())
+       ~workload:(Workload.always_requesting h) ~steps h
+      : Driver.result)
+  in
+  let total = r.Driver.summary.Metrics.convenes in
+  {
+    algo;
+    weighted;
+    urgent_share =
+      (if total = 0 then 0.
+       else float_of_int r.Driver.convene_count.(urgent) /. float_of_int total);
+    fair_share = 1. /. float_of_int (H.m h);
+    total;
+    violations = List.length r.Driver.violations;
+    starved_committees =
+      Array.fold_left (fun a c -> if c = 0 then a + 1 else a) 0
+        r.Driver.convene_count;
+  }
+
+let run ?(quick = false) () : result =
+  let steps = if quick then 10_000 else 40_000 in
+  [ measure ~steps "CC1" false (fun ~seed ~daemon ~workload ~steps h ->
+        Algos.Run_cc1.run ~seed ~daemon ~workload ~steps h);
+    measure ~steps "CC1" true (fun ~seed ~daemon ~workload ~steps h ->
+        Run_cc1_prio.run ~seed ~daemon ~workload ~steps h);
+    measure ~steps "CC3" false (fun ~seed ~daemon ~workload ~steps h ->
+        Algos.Run_cc3.run ~seed ~daemon ~workload ~steps h);
+    measure ~steps "CC3" true (fun ~seed ~daemon ~workload ~steps h ->
+        Run_cc3_prio.run ~seed ~daemon ~workload ~steps h);
+  ]
+
+let table (r : result) =
+  {
+    Table.id = "priorities";
+    title =
+      "Section 7 future work - committee priorities via the don't-care \
+       choice (3-uniform ring, committee {5,6,7} declared urgent)";
+    header =
+      [ "algorithm"; "weighted"; "urgent share"; "neutral share"; "convenes";
+        "violations"; "starved committees" ];
+    rows =
+      List.map
+        (fun x ->
+          [ x.algo; Table.b x.weighted;
+            Printf.sprintf "%.1f%%" (100. *. x.urgent_share);
+            Printf.sprintf "%.1f%%" (100. *. x.fair_share);
+            Table.i x.total; Table.i x.violations; Table.i x.starved_committees ])
+        r;
+    notes =
+      [ "Weights only steer choices the specification leaves free, so \
+         safety and the algorithms' guarantees are untouched (violations \
+         stay 0; CC3 still starves no committee).";
+      ];
+  }
+
+let find (r : result) ~algo ~weighted =
+  List.find (fun x -> x.algo = algo && x.weighted = weighted) r
+
+let ok (r : result) =
+  List.for_all (fun x -> x.violations = 0 && x.total > 0) r
+  (* weighting must visibly raise the urgent committee's share for CC1 *)
+  && (find r ~algo:"CC1" ~weighted:true).urgent_share
+     > (find r ~algo:"CC1" ~weighted:false).urgent_share
+  (* and CC3 must still leave no committee starved even when skewed *)
+  && (find r ~algo:"CC3" ~weighted:true).starved_committees = 0

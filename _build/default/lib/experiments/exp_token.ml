@@ -1,0 +1,108 @@
+(** EXP-TC — Property 1 of the token substrate.
+
+    From arbitrary configurations of the tree-based [TC] (leader election +
+    DFS-wave circulation), measure: the step at which the "at most one
+    token" invariant starts holding for good (self-stabilization of the
+    substrate), and — once stabilized — the cost of a full circulation lap
+    (every process served once), in steps, as the network grows.  A DFS lap
+    traverses each tree edge twice, so it costs Θ(n) moves. *)
+
+module H = Snapcc_hypergraph.Hypergraph
+module Families = Snapcc_hypergraph.Families
+module Model = Snapcc_runtime.Model
+module Daemon = Snapcc_runtime.Daemon
+module A = Snapcc_token.Layer.As_algo (Snapcc_token.Token_tree)
+module E = Snapcc_runtime.Engine.Make (A)
+
+type point = {
+  topo : string;
+  n : int;
+  stabilization_steps : int;  (** max over seeds: last step with >1 token *)
+  lap_steps : float;  (** mean steps for a full lap after stabilization *)
+  laps_measured : int;
+}
+
+type result = point list
+
+let token_count eng =
+  Array.fold_left
+    (fun a (o : Snapcc_runtime.Obs.t) -> if o.Snapcc_runtime.Obs.has_token then a + 1 else a)
+    0 (E.obs eng)
+
+let measure ~seeds ~topo h =
+  let n = H.n h in
+  let horizon = 1_500 * n in
+  let worst_stab = ref 0 in
+  let lap_acc = ref 0. and lap_n = ref 0 in
+  List.iter
+    (fun seed ->
+      let eng = E.create ~seed ~init:`Random ~daemon:(Daemon.random_subset ()) h in
+      let last_multi = ref 0 in
+      let served = Hashtbl.create n in
+      let lap_start = ref None in
+      let on_step eng (r : Model.step_report) =
+        if token_count eng > 1 then last_multi := r.Model.step;
+        List.iter
+          (fun (p, l) ->
+            if l = "T" then begin
+              (match !lap_start with
+               | None -> lap_start := Some (r.Model.step, 0)
+               | Some _ -> ());
+              if not (Hashtbl.mem served p) then Hashtbl.add served p ();
+              if Hashtbl.length served = n then begin
+                (match !lap_start with
+                 | Some (s0, _) ->
+                   lap_acc := !lap_acc +. float_of_int (r.Model.step - s0);
+                   incr lap_n
+                 | None -> ());
+                Hashtbl.reset served;
+                lap_start := Some (r.Model.step, 0)
+              end
+            end)
+          r.Model.executed
+      in
+      let _ =
+        E.run eng ~steps:horizon ~inputs_at:(fun _ -> Model.no_inputs) ~on_step ()
+      in
+      worst_stab := max !worst_stab !last_multi)
+    seeds;
+  {
+    topo;
+    n;
+    stabilization_steps = !worst_stab;
+    lap_steps = (if !lap_n = 0 then 0. else !lap_acc /. float_of_int !lap_n);
+    laps_measured = !lap_n;
+  }
+
+let run ?(quick = false) () : result =
+  let seeds = Exp_common.seeds ~quick in
+  let topos =
+    (if quick then [ 4; 8 ] else [ 4; 8; 12; 16 ])
+    |> List.map (fun n -> (Printf.sprintf "ring%d" n, Families.pair_ring n))
+  in
+  let extra =
+    if quick then []
+    else [ ("fig1", Families.fig1 ()); ("star8", Families.star 8) ]
+  in
+  List.map (fun (topo, h) -> measure ~seeds ~topo h) (topos @ extra)
+
+let table (r : result) =
+  {
+    Table.id = "tc-property1";
+    title =
+      "Token substrate (leader election + DFS wave): stabilization and lap \
+       cost";
+    header = [ "topology"; "n"; "stabilization (steps)"; "lap (steps, mean)"; "laps" ];
+    rows =
+      List.map
+        (fun p ->
+          [ p.topo; Table.i p.n; Table.i p.stabilization_steps;
+            Table.f1 p.lap_steps; Table.i p.laps_measured ])
+        r;
+    notes =
+      [ "A lap serves every process once; a DFS wave crosses each tree edge \
+         twice, so lap cost grows linearly in n.";
+      ];
+  }
+
+let ok (r : result) = List.for_all (fun p -> p.laps_measured > 0) r

@@ -1,0 +1,59 @@
+(** Experiment registry: every table/figure of the paper, runnable by id.
+    `bench/main.exe` prints all of them; `ccsim experiment <id>` runs one. *)
+
+type entry = {
+  id : string;
+  title : string;
+  run : quick:bool -> Table.t;
+}
+
+let all : entry list =
+  [ { id = "fig1";
+      title = "Fig. 1 - hypergraph and underlying network";
+      run = (fun ~quick -> Exp_fig1.table (Exp_fig1.run ~quick ())) };
+    { id = "fig2-impossibility";
+      title = "Fig. 2 / Theorem 1 - maximal concurrency vs fairness";
+      run = (fun ~quick -> Exp_impossibility.table (Exp_impossibility.run ~quick ())) };
+    { id = "fig3-cc1-trace";
+      title = "Fig. 3 - CC1 worked example";
+      run = (fun ~quick -> Exp_cc1_trace.table (Exp_cc1_trace.run ~quick ())) };
+    { id = "fig4-locks";
+      title = "Fig. 4 - CC2 lock flags";
+      run = (fun ~quick -> Exp_locks.table (Exp_locks.run ~quick ())) };
+    { id = "thm23-snap";
+      title = "Theorems 2-3 - snap-stabilization grid";
+      run = (fun ~quick -> Exp_snap.table (Exp_snap.run ~quick ())) };
+    { id = "thm45-dfc";
+      title = "Theorems 4-5 - degree of fair concurrency";
+      run = (fun ~quick -> Exp_fair_concurrency.table (Exp_fair_concurrency.run ~quick ())) };
+    { id = "thm6-waiting";
+      title = "Theorem 6 - waiting time";
+      run = (fun ~quick -> Exp_waiting_time.table (Exp_waiting_time.run ~quick ())) };
+    { id = "thm78-cc3";
+      title = "Theorems 7-8 - committee fairness";
+      run = (fun ~quick -> Exp_committee_fairness.table (Exp_committee_fairness.run ~quick ())) };
+    { id = "related-work-baselines";
+      title = "Section 6 - baselines comparison";
+      run = (fun ~quick -> Exp_baselines.table (Exp_baselines.run ~quick ())) };
+    { id = "tc-property1";
+      title = "Property 1 - token substrate";
+      run = (fun ~quick -> Exp_token.table (Exp_token.run ~quick ())) };
+    { id = "ablations";
+      title = "Design-decision ablations (token retention, edge selection)";
+      run = (fun ~quick -> Exp_ablation.table (Exp_ablation.run ~quick ())) };
+    { id = "conjecture-bounded-wait";
+      title = "Section 7 conjecture - maximal concurrency vs bounded waiting";
+      run = (fun ~quick -> Exp_conjecture.table (Exp_conjecture.run ~quick ())) };
+    { id = "mp-future-work";
+      title = "Section 7 future work - message-passing emulation";
+      run = (fun ~quick -> Exp_message_passing.table (Exp_message_passing.run ~quick ())) };
+    { id = "dynamic-hypergraph";
+      title = "Section 7 future work - dynamic hypergraphs";
+      run = (fun ~quick -> Exp_dynamic.table (Exp_dynamic.run ~quick ())) };
+    { id = "priorities";
+      title = "Section 7 future work - committee priorities";
+      run = (fun ~quick -> Exp_priorities.table (Exp_priorities.run ~quick ())) };
+  ]
+
+let find id = List.find_opt (fun e -> e.id = id) all
+let ids () = List.map (fun e -> e.id) all

@@ -1,0 +1,17 @@
+(** Experiment registry: every table/figure of the paper (plus the §7
+    extension probes), runnable by id.  [bench/main.exe] prints all of
+    them; [ccsim experiment <id>] runs one. *)
+
+type entry = {
+  id : string;
+  title : string;
+  run : quick:bool -> Table.t;
+      (** [quick:true] uses the reduced sweeps exercised by the tests. *)
+}
+
+val all : entry list
+(** In presentation order: figures, theorems, baselines, substrate,
+    ablations, extensions. *)
+
+val find : string -> entry option
+val ids : unit -> string list

@@ -1,0 +1,44 @@
+(** Plain-text result tables: what the bench harness prints and what
+    EXPERIMENTS.md records. *)
+
+type t = {
+  id : string;  (** experiment id, e.g. "thm45-dfc" *)
+  title : string;
+  header : string list;
+  rows : string list list;
+  notes : string list;
+}
+
+let cell_width rows header =
+  let ncols = List.length header in
+  let widths = Array.make ncols 0 in
+  List.iter
+    (fun row ->
+      List.iteri
+        (fun i c -> if i < ncols then widths.(i) <- max widths.(i) (String.length c))
+        row)
+    (header :: rows);
+  widths
+
+let pp ppf t =
+  let widths = cell_width t.rows t.header in
+  let pad i c =
+    let w = if i < Array.length widths then widths.(i) else String.length c in
+    c ^ String.make (max 0 (w - String.length c)) ' '
+  in
+  let line row = String.concat "  " (List.mapi pad row) in
+  let rule =
+    String.concat "--"
+      (Array.to_list (Array.map (fun w -> String.make w '-') widths))
+  in
+  Format.fprintf ppf "@[<v>== %s: %s ==@,%s@,%s@," t.id t.title (line t.header) rule;
+  List.iter (fun row -> Format.fprintf ppf "%s@," (line row)) t.rows;
+  List.iter (fun n -> Format.fprintf ppf "note: %s@," n) t.notes;
+  Format.fprintf ppf "@]"
+
+let to_string t = Format.asprintf "%a" pp t
+
+let f1 x = Printf.sprintf "%.1f" x
+let f2 x = Printf.sprintf "%.2f" x
+let i = string_of_int
+let b x = if x then "yes" else "no"

@@ -1,0 +1,27 @@
+(** Plain-text result tables: what the bench harness prints and what
+    EXPERIMENTS.md records. *)
+
+type t = {
+  id : string;  (** experiment id, e.g. ["thm45-dfc"] *)
+  title : string;
+  header : string list;
+  rows : string list list;
+  notes : string list;
+}
+
+val pp : Format.formatter -> t -> unit
+(** Column-aligned rendering with a title line and trailing notes. *)
+
+val to_string : t -> string
+
+(** Cell formatting shorthands. *)
+
+val f1 : float -> string
+(** One decimal. *)
+
+val f2 : float -> string
+(** Two decimals. *)
+
+val i : int -> string
+val b : bool -> string
+(** ["yes"]/["no"]. *)

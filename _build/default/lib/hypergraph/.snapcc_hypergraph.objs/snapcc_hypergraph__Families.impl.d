@@ -1,0 +1,1 @@
+lib/hypergraph/families.ml: Array Fun Hashtbl Hypergraph List Printf Random String

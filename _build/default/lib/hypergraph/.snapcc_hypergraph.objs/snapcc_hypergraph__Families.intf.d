@@ -1,0 +1,1 @@
+lib/hypergraph/families.mli: Hypergraph

@@ -1,0 +1,1 @@
+lib/hypergraph/hypergraph_io.ml: Array Buffer Fun Hypergraph In_channel List Out_channel Printf String

@@ -1,0 +1,1 @@
+lib/hypergraph/hypergraph_io.mli: Hypergraph

@@ -1,0 +1,1 @@
+lib/hypergraph/matching.ml: Array Format Fun Hashtbl Hypergraph List

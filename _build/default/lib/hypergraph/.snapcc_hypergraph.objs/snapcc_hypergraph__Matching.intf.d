@@ -1,0 +1,1 @@
+lib/hypergraph/matching.mli: Format Hypergraph

@@ -1,0 +1,1 @@
+lib/mp/mp_engine.ml: Array List Printf Random Snapcc_hypergraph Snapcc_runtime

@@ -1,0 +1,1 @@
+lib/mp/mp_engine.mli: Snapcc_hypergraph Snapcc_runtime

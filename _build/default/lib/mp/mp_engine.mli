@@ -1,0 +1,62 @@
+(** Message-passing emulation of the locally-shared-memory model — the
+    substrate for the paper's first future-work item (§7: "design a
+    fault-tolerant committee coordination algorithm in the message-passing
+    model").
+
+    The classical state-dissemination transformation: each process keeps its
+    algorithm state plus a {e cache} of the last state received from each
+    neighbor; guards and statements are evaluated against that possibly
+    stale view.  Every activation re-broadcasts the process' current state
+    to all neighbors (heartbeat — required for recovery, since caches and
+    channels can be corrupted by transient faults).  Links carry full-state
+    snapshots and are {e coalescing}: a link holds at most the latest
+    undelivered snapshot, so channel capacity is bounded by construction
+    (the standard assumption for stabilization in message passing).
+
+    An adversarial-but-fair scheduler interleaves two kinds of events:
+    process activations and message deliveries.  The {e true}
+    configuration (the cores) is what the monitors observe; staleness lives
+    only in caches. *)
+
+module Make (A : Snapcc_runtime.Model.ALGO) : sig
+  type t
+
+  type event =
+    | Activated of int * string option
+        (** process, label of the executed action ([None]: nothing enabled
+            on its view; it still re-broadcast) *)
+    | Delivered of int * int  (** receiver, sender *)
+
+  val create :
+    ?seed:int ->
+    ?init:[ `Canonical | `Random ] ->
+    ?deliver_bias:float ->
+    Snapcc_hypergraph.Hypergraph.t ->
+    t
+  (** [deliver_bias] (default 0.5) is the probability that a step delivers a
+      pending message rather than activating a process; staleness grows as
+      it shrinks.  [`Random] also randomizes caches and channels. *)
+
+  val hypergraph : t -> Snapcc_hypergraph.Hypergraph.t
+
+  val obs : t -> Snapcc_runtime.Obs.t array
+  (** Observation of the true (core) configuration. *)
+
+  val step : t -> inputs:Snapcc_runtime.Model.inputs -> event
+  (** One scheduler event.  Fairness: starving processes and old pending
+      messages are force-selected, so every process is activated and every
+      sent snapshot delivered infinitely often. *)
+
+  val steps_taken : t -> int
+  val messages_delivered : t -> int
+  val messages_sent : t -> int
+  val in_flight : t -> int
+
+  val corrupt : t -> victims:int list -> unit
+  (** Transient fault: randomize the victims' cores, caches, and every
+      channel adjacent to them. *)
+
+  val max_staleness : t -> int
+  (** Diagnostic: the largest number of steps any cache entry has gone
+      without refresh, over the whole run. *)
+end

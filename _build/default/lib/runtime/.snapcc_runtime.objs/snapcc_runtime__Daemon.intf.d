@@ -1,0 +1,1 @@
+lib/runtime/daemon.mli: Random

@@ -1,0 +1,1 @@
+lib/runtime/engine.ml: Array Daemon Fun List Model Option Printf Random Snapcc_hypergraph

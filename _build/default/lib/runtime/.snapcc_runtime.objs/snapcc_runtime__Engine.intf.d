@@ -1,0 +1,1 @@
+lib/runtime/engine.mli: Daemon Model Obs Random Snapcc_hypergraph

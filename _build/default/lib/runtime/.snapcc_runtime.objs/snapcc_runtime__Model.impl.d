@@ -1,0 +1,1 @@
+lib/runtime/model.ml: Format Obs Random Snapcc_hypergraph

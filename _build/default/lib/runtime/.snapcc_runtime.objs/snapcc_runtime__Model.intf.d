@@ -1,0 +1,1 @@
+lib/runtime/model.mli: Format Obs Random Snapcc_hypergraph

@@ -1,0 +1,1 @@
+lib/runtime/obs.ml: Array Format Fun List Printf Snapcc_hypergraph

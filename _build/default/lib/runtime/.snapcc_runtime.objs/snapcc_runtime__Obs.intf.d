@@ -1,0 +1,1 @@
+lib/runtime/obs.mli: Format Snapcc_hypergraph

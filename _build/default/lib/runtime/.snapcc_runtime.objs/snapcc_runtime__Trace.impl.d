@@ -1,0 +1,1 @@
+lib/runtime/trace.ml: Array Format Fun List Model Obs Printf Snapcc_hypergraph String

@@ -1,0 +1,190 @@
+module H = Snapcc_hypergraph.Hypergraph
+
+module Make (A : Model.ALGO) = struct
+  type t = {
+    h : H.t;
+    mutable states : A.state array;
+    actions : A.state Model.action array;  (* index = code order; last = top priority *)
+    daemon : Daemon.t;
+    rng : Random.State.t;
+    check_locality : bool;
+    mutable step_no : int;
+    mutable round_no : int;
+    mutable round_pending : bool array option;
+        (* processes from the round's initial enabled set still to activate
+           or neutralize; [None] until the first step establishes it *)
+    cont_enabled : int array;
+  }
+
+  let create ?(seed = 0) ?(check_locality = false) ?(init = `Canonical) ~daemon h =
+    let n = H.n h in
+    let rng = Random.State.make [| seed; n; 0xcc |] in
+    let states =
+      match init with
+      | `Canonical -> Array.init n (A.init h)
+      | `Random -> Array.init n (A.random_init h rng)
+      | `States s ->
+        if Array.length s <> n then invalid_arg "Engine.create: bad state array";
+        Array.copy s
+    in
+    {
+      h;
+      states;
+      actions = Array.of_list (A.actions h);
+      daemon;
+      rng;
+      check_locality;
+      step_no = 0;
+      round_no = 0;
+      round_pending = None;
+      cont_enabled = Array.make n 0;
+    }
+
+  let hypergraph t = t.h
+  let states t = Array.copy t.states
+  let state t p = t.states.(p)
+
+  let set_states t s =
+    if Array.length s <> H.n t.h then invalid_arg "Engine.set_states";
+    t.states <- Array.copy s
+
+  let obs t = Array.init (H.n t.h) (A.observe t.h t.states)
+  let steps_taken t = t.step_no
+  let rounds t = t.round_no
+  let rng t = t.rng
+
+  let ctx_for t ~inputs p : A.state Model.ctx =
+    let read =
+      if t.check_locality then (fun q ->
+        if q <> p && not (H.are_neighbors t.h p q) then
+          failwith
+            (Printf.sprintf "locality violation: process %d read state of %d" p q);
+        t.states.(q))
+      else Array.get t.states
+    in
+    { Model.h = t.h; inputs; read; self = p }
+
+  (* Highest-priority enabled action: the paper gives priority to actions
+     appearing later in the code (§2.2), hence the backwards scan. *)
+  let priority_action t ~inputs p =
+    let ctx = ctx_for t ~inputs p in
+    let rec scan i =
+      if i < 0 then None
+      else if t.actions.(i).Model.guard ctx then Some i
+      else scan (i - 1)
+    in
+    scan (Array.length t.actions - 1)
+
+  let enabled t ~inputs =
+    List.filter
+      (fun p -> priority_action t ~inputs p <> None)
+      (List.init (H.n t.h) Fun.id)
+
+  let is_terminal t ~inputs = enabled t ~inputs = []
+
+  let enabled_action t ~inputs p =
+    Option.map (fun i -> t.actions.(i).Model.label) (priority_action t ~inputs p)
+
+  let step t ~inputs =
+    let enabled_before = enabled t ~inputs in
+    if enabled_before = [] then
+      { Model.step = t.step_no; selected = []; executed = []; neutralized = [];
+        round = t.round_no; terminal = true }
+    else begin
+      (* establish the first round's pending set lazily: enabledness depends
+         on the step's inputs, unknown at creation time *)
+      (match t.round_pending with
+       | Some _ -> ()
+       | None ->
+         let pending = Array.make (H.n t.h) false in
+         List.iter (fun p -> pending.(p) <- true) enabled_before;
+         t.round_pending <- Some pending);
+      let selected =
+        Daemon.select t.daemon ~rng:t.rng ~step:t.step_no ~enabled:enabled_before
+          ~continuously_enabled:(Array.get t.cont_enabled)
+      in
+      let selected = List.sort_uniq compare selected in
+      if selected = [] then invalid_arg "daemon selected an empty set";
+      List.iter
+        (fun p ->
+          if not (List.mem p enabled_before) then
+            invalid_arg (Printf.sprintf "daemon selected disabled process %d" p))
+        selected;
+      (* all statements read the pre-step configuration *)
+      let executed =
+        List.filter_map
+          (fun p ->
+            match priority_action t ~inputs p with
+            | None -> None
+            | Some i ->
+              let ctx = ctx_for t ~inputs p in
+              Some (p, t.actions.(i).Model.label, t.actions.(i).Model.apply ctx))
+          selected
+      in
+      let next = Array.copy t.states in
+      List.iter (fun (p, _, s) -> next.(p) <- s) executed;
+      t.states <- next;
+      let executed = List.map (fun (p, l, _) -> (p, l)) executed in
+      let enabled_after = enabled t ~inputs in
+      let did_execute p = List.mem_assoc p executed in
+      let neutralized =
+        List.filter
+          (fun p -> (not (did_execute p)) && not (List.mem p enabled_after))
+          enabled_before
+      in
+      (* weak-fairness accounting *)
+      for p = 0 to H.n t.h - 1 do
+        if did_execute p || not (List.mem p enabled_after) then t.cont_enabled.(p) <- 0
+        else if List.mem p enabled_before then
+          t.cont_enabled.(p) <- t.cont_enabled.(p) + 1
+      done;
+      (* round accounting (§2.2): the round completes once every process of
+         its initial enabled set has been activated or neutralized *)
+      (match t.round_pending with
+       | None -> ()
+       | Some pending ->
+         List.iter (fun p -> pending.(p) <- false) neutralized;
+         List.iter (fun (p, _) -> pending.(p) <- false) executed;
+         if not (Array.exists Fun.id pending) then begin
+           t.round_no <- t.round_no + 1;
+           let fresh = Array.make (H.n t.h) false in
+           List.iter (fun p -> fresh.(p) <- true) enabled_after;
+           t.round_pending <- Some fresh
+         end);
+      let report =
+        { Model.step = t.step_no; selected; executed; neutralized;
+          round = t.round_no; terminal = false }
+      in
+      t.step_no <- t.step_no + 1;
+      report
+    end
+
+  let run t ~steps ~inputs_at ?(on_step = fun _ _ -> ()) ?(stop_when = fun _ -> false) () =
+    let rec go remaining =
+      if remaining <= 0 then `Steps_exhausted
+      else begin
+        let inputs = inputs_at t in
+        let report = step t ~inputs in
+        if report.Model.terminal then `Terminal
+        else begin
+          on_step t report;
+          if stop_when t then `Stopped else go (remaining - 1)
+        end
+      end
+    in
+    go steps
+
+  let corrupt t ?rng ~victims () =
+    let rng = match rng with Some r -> r | None -> t.rng in
+    let next = Array.copy t.states in
+    List.iter
+      (fun p ->
+        if p < 0 || p >= H.n t.h then invalid_arg "Engine.corrupt: bad victim";
+        next.(p) <- A.random_init t.h rng p;
+        t.cont_enabled.(p) <- 0)
+      victims;
+    t.states <- next;
+    (* a fault may disable pending processes without a step; restart the
+       round measurement from the corrupted configuration *)
+    t.round_pending <- None
+end

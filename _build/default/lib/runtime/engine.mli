@@ -1,0 +1,64 @@
+(** Simulation engine: executes an algorithm under a daemon, maintaining
+    round accounting (§2.2), weak-fairness counters and fault injection.
+
+    The engine is deliberately step-wise: callers (workloads, monitors,
+    experiments) supply the input predicates for each step and observe the
+    resulting {!Model.step_report}, so every measurement in the repository
+    is made against the exact semantics of the model. *)
+
+module Make (A : Model.ALGO) : sig
+  type t
+
+  val create :
+    ?seed:int ->
+    ?check_locality:bool ->
+    ?init:[ `Canonical | `Random | `States of A.state array ] ->
+    daemon:Daemon.t ->
+    Snapcc_hypergraph.Hypergraph.t ->
+    t
+  (** [check_locality] (default [false]) makes every state read performed by
+      a guard or statement of process [p] assert that the target is [p] or a
+      neighbor of [p] — a dynamic check that the algorithm respects the
+      locally-shared-variable model.  [`Random] draws each process state
+      with [A.random_init] (arbitrary initial configuration of §2.5). *)
+
+  val hypergraph : t -> Snapcc_hypergraph.Hypergraph.t
+  val states : t -> A.state array
+  (** A copy of the current configuration. *)
+
+  val state : t -> int -> A.state
+  val set_states : t -> A.state array -> unit
+  val obs : t -> Obs.t array
+  val steps_taken : t -> int
+  val rounds : t -> int
+  (** Number of completed rounds. *)
+
+  val enabled : t -> inputs:Model.inputs -> int list
+  val is_terminal : t -> inputs:Model.inputs -> bool
+
+  val enabled_action : t -> inputs:Model.inputs -> int -> string option
+  (** Label of the highest-priority enabled action of a process, if any. *)
+
+  val step : t -> inputs:Model.inputs -> Model.step_report
+  (** One step: daemon selection, atomic execution of the highest-priority
+      enabled action of each selected process against the pre-step
+      configuration, then round/fairness bookkeeping.  In a terminal
+      configuration the report has [terminal = true] and nothing changes. *)
+
+  val run :
+    t -> steps:int -> inputs_at:(t -> Model.inputs) ->
+    ?on_step:(t -> Model.step_report -> unit) ->
+    ?stop_when:(t -> bool) ->
+    unit -> [ `Terminal | `Stopped | `Steps_exhausted ]
+  (** Convenience loop: at most [steps] steps, recomputing inputs before
+      each step; stops early on a terminal configuration or when
+      [stop_when] holds (checked after each step). *)
+
+  val corrupt : t -> ?rng:Random.State.t -> victims:int list -> unit -> unit
+  (** Transient-fault injection: replaces the state of each victim with an
+      arbitrary one ([A.random_init]), resetting round accounting the way an
+      adversary would — the engine's round counter keeps increasing, but
+      fairness counters restart. *)
+
+  val rng : t -> Random.State.t
+end

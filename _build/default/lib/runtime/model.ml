@@ -1,0 +1,49 @@
+type inputs = {
+  request_in : int -> bool;
+  request_out : int -> bool;
+}
+
+let no_inputs = { request_in = (fun _ -> false); request_out = (fun _ -> false) }
+let always_in = { request_in = (fun _ -> true); request_out = (fun _ -> false) }
+
+type 'state ctx = {
+  h : Snapcc_hypergraph.Hypergraph.t;
+  inputs : inputs;
+  read : int -> 'state;
+  self : int;
+}
+
+type 'state action = {
+  label : string;
+  guard : 'state ctx -> bool;
+  apply : 'state ctx -> 'state;
+}
+
+let lift_action ~get ~set action =
+  let lower ctx = { h = ctx.h; inputs = ctx.inputs; read = (fun p -> get (ctx.read p)); self = ctx.self } in
+  {
+    label = action.label;
+    guard = (fun ctx -> action.guard (lower ctx));
+    apply = (fun ctx -> set (ctx.read ctx.self) (action.apply (lower ctx)));
+  }
+
+module type ALGO = sig
+  type state
+
+  val name : string
+  val pp_state : Format.formatter -> state -> unit
+  val equal_state : state -> state -> bool
+  val init : Snapcc_hypergraph.Hypergraph.t -> int -> state
+  val random_init : Snapcc_hypergraph.Hypergraph.t -> Random.State.t -> int -> state
+  val actions : Snapcc_hypergraph.Hypergraph.t -> state action list
+  val observe : Snapcc_hypergraph.Hypergraph.t -> state array -> int -> Obs.t
+end
+
+type step_report = {
+  step : int;
+  selected : int list;
+  executed : (int * string) list;
+  neutralized : int list;
+  round : int;
+  terminal : bool;
+}

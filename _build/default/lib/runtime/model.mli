@@ -1,0 +1,74 @@
+(** The computational model of §2.2: locally shared variables and
+    prioritized guarded actions.
+
+    Each process owns a state; a guard may read the state of the process and
+    of its neighbors in the underlying network; a statement computes a new
+    local state.  Actions are listed {e in the order of the paper's code}:
+    an action appearing {b later} has {b higher} priority, and a selected
+    enabled process executes its highest-priority enabled action.  All
+    selected processes of a step read the same pre-step configuration. *)
+
+type inputs = {
+  request_in : int -> bool;
+      (** [RequestIn(p)]: the professor requests to join a committee. *)
+  request_out : int -> bool;
+      (** [RequestOut(p)]: the professor wants to stop discussing. *)
+}
+
+val no_inputs : inputs
+(** Both predicates constantly false. *)
+
+val always_in : inputs
+(** [RequestIn] constantly true, [RequestOut] constantly false. *)
+
+type 'state ctx = {
+  h : Snapcc_hypergraph.Hypergraph.t;
+  inputs : inputs;
+  read : int -> 'state;  (** read a process state (self or neighbor only) *)
+  self : int;
+}
+
+type 'state action = {
+  label : string;
+  guard : 'state ctx -> bool;
+  apply : 'state ctx -> 'state;
+}
+
+val lift_action :
+  get:('outer -> 'inner) -> set:('outer -> 'inner -> 'outer) ->
+  'inner action -> 'outer action
+(** Embeds a component algorithm's action into a composed state (used for
+    the fair composition [CC ∘ TC]). *)
+
+module type ALGO = sig
+  type state
+
+  val name : string
+  val pp_state : Format.formatter -> state -> unit
+  val equal_state : state -> state -> bool
+
+  val init : Snapcc_hypergraph.Hypergraph.t -> int -> state
+  (** A canonical well-initialized state. *)
+
+  val random_init :
+    Snapcc_hypergraph.Hypergraph.t -> Random.State.t -> int -> state
+  (** An {e arbitrary} state drawn over the whole state domain: the
+      post-transient-fault configurations of the snap-stabilization
+      definition (§2.5). *)
+
+  val actions : Snapcc_hypergraph.Hypergraph.t -> state action list
+  (** In code order; the last action has the highest priority. *)
+
+  val observe :
+    Snapcc_hypergraph.Hypergraph.t -> state array -> int -> Obs.t
+end
+
+type step_report = {
+  step : int;  (** 0-based index of the step just taken *)
+  selected : int list;  (** processes chosen by the daemon *)
+  executed : (int * string) list;  (** (process, action label) pairs *)
+  neutralized : int list;
+      (** enabled before the step, did not execute, disabled after (§2.2) *)
+  round : int;  (** completed-round count after this step *)
+  terminal : bool;  (** no process was enabled (nothing happened) *)
+}

@@ -1,0 +1,71 @@
+module H = Snapcc_hypergraph.Hypergraph
+
+type status = Idle | Looking | Waiting | Done
+
+type t = {
+  status : status;
+  pointer : int option;
+  token_flag : bool;
+  locked : bool;
+  has_token : bool;
+  discussions : int;
+}
+
+let make ?(pointer = None) ?(token_flag = false) ?(locked = false)
+    ?(has_token = false) ?(discussions = 0) status =
+  { status; pointer; token_flag; locked; has_token; discussions }
+
+let equal a b =
+  a.status = b.status && a.pointer = b.pointer && a.token_flag = b.token_flag
+  && a.locked = b.locked && a.has_token = b.has_token
+  && a.discussions = b.discussions
+
+let pp_status ppf s =
+  Format.pp_print_string ppf
+    (match s with
+     | Idle -> "idle"
+     | Looking -> "looking"
+     | Waiting -> "waiting"
+     | Done -> "done")
+
+let pp ppf o =
+  Format.fprintf ppf "%a%s%s%s%s" pp_status o.status
+    (match o.pointer with None -> "" | Some e -> Printf.sprintf " ->e%d" e)
+    (if o.token_flag then " T" else "")
+    (if o.locked then " L" else "")
+    (if o.has_token then " (token)" else "")
+
+let is_waiting o = match o.status with Looking | Waiting -> true | Idle | Done -> false
+
+let attends obs ~vertex ~eid =
+  is_waiting obs.(vertex) && obs.(vertex).pointer = Some eid
+
+let meets h obs eid =
+  Array.for_all
+    (fun q ->
+      obs.(q).pointer = Some eid
+      && (match obs.(q).status with Waiting | Done -> true | Idle | Looking -> false))
+    (H.edge_members h eid)
+
+let meetings h obs =
+  List.filter (meets h obs) (List.init (H.m h) Fun.id)
+
+let participants h obs =
+  let in_meeting = Array.make (Array.length obs) false in
+  List.iter
+    (fun eid -> Array.iter (fun q -> in_meeting.(q) <- true) (H.edge_members h eid))
+    (meetings h obs);
+  List.filter (Array.get in_meeting) (List.init (Array.length obs) Fun.id)
+
+let pp_snapshot h ppf obs =
+  Format.fprintf ppf "@[<v>";
+  Array.iteri
+    (fun v o ->
+      Format.fprintf ppf "prof %2d: %a" (H.id h v) pp o;
+      (match o.pointer with
+       | Some e when e >= 0 && e < H.m h ->
+         Format.fprintf ppf " %a" (H.pp_edge h) e
+       | Some _ | None -> ());
+      if v < Array.length obs - 1 then Format.pp_print_cut ppf ())
+    obs;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,98 @@
+module H = Snapcc_hypergraph.Hypergraph
+
+type entry = {
+  step : int;
+  executed : (int * string) list;
+  obs : Obs.t array;
+}
+
+type t = {
+  h : H.t;
+  initial : Obs.t array;
+  mutable rev_entries : entry list;
+  mutable count : int;
+}
+
+let create h ~initial = { h; initial; rev_entries = []; count = 0 }
+
+let record t (report : Model.step_report) obs =
+  t.rev_entries <-
+    { step = report.Model.step; executed = report.Model.executed; obs }
+    :: t.rev_entries;
+  t.count <- t.count + 1
+
+let initial t = t.initial
+let entries t = List.rev t.rev_entries
+let length t = t.count
+
+let final t =
+  match t.rev_entries with [] -> t.initial | e :: _ -> e.obs
+
+let transitions t =
+  let rec go prev acc = function
+    | [] -> List.rev acc
+    | e :: rest -> go e.obs ((e.step, prev, e.obs) :: acc) rest
+  in
+  go t.initial [] (entries t)
+
+let convened t =
+  List.concat_map
+    (fun (step, before, after) ->
+      List.filter_map
+        (fun eid ->
+          if (not (Obs.meets t.h before eid)) && Obs.meets t.h after eid then
+            Some (step, eid)
+          else None)
+        (List.init (H.m t.h) Fun.id))
+    (transitions t)
+
+let terminated t =
+  List.concat_map
+    (fun (step, before, after) ->
+      List.filter_map
+        (fun eid ->
+          if Obs.meets t.h before eid && not (Obs.meets t.h after eid) then
+            Some (step, eid)
+          else None)
+        (List.init (H.m t.h) Fun.id))
+    (transitions t)
+
+let pp_timeline ?(width = 64) ppf t =
+  let entries = entries t in
+  let total = max 1 (List.length entries) in
+  let width = min width total in
+  let buckets = Array.make_matrix (H.m t.h) width false in
+  List.iteri
+    (fun i e ->
+      let col = i * width / total in
+      List.iter
+        (fun eid -> buckets.(eid).(col) <- true)
+        (Obs.meetings t.h e.obs))
+    entries;
+  Format.fprintf ppf "@[<v>";
+  let label_width =
+    List.fold_left max 0
+      (List.init (H.m t.h) (fun e ->
+           String.length (Format.asprintf "%a" (H.pp_edge t.h) e)))
+  in
+  for e = 0 to H.m t.h - 1 do
+    let label = Format.asprintf "%a" (H.pp_edge t.h) e in
+    let pad = String.make (label_width - String.length label) ' ' in
+    let row =
+      String.init width (fun c -> if buckets.(e).(c) then '#' else '.')
+    in
+    Format.fprintf ppf "%s%s  %s" label pad row;
+    if e < H.m t.h - 1 then Format.pp_print_cut ppf ()
+  done;
+  Format.fprintf ppf "@]"
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>initial:@,%a@," (Obs.pp_snapshot t.h) t.initial;
+  List.iter
+    (fun e ->
+      Format.fprintf ppf "step %d: %s@,%a@," e.step
+        (String.concat ", "
+           (List.map (fun (p, l) -> Printf.sprintf "%d:%s" (H.id t.h p) l) e.executed))
+        (Obs.pp_snapshot t.h) e.obs)
+    (entries t);
+  Format.fprintf ppf "@]"

@@ -1,0 +1,35 @@
+(** Optional trace recording: a sequence of observation snapshots with the
+    actions that produced them, for pretty-printing example runs and for
+    offline checks in tests. *)
+
+type entry = {
+  step : int;
+  executed : (int * string) list;
+  obs : Obs.t array;  (** configuration after the step *)
+}
+
+type t
+
+val create : Snapcc_hypergraph.Hypergraph.t -> initial:Obs.t array -> t
+val record : t -> Model.step_report -> Obs.t array -> unit
+val initial : t -> Obs.t array
+val entries : t -> entry list
+(** In chronological order. *)
+
+val length : t -> int
+val final : t -> Obs.t array
+
+val convened : t -> (int * int) list
+(** [(step, eid)] for every committee meeting that convened during the
+    trace: [eid] did not meet in the previous configuration and meets after
+    the step (§4.2). *)
+
+val terminated : t -> (int * int) list
+(** Committee meetings that terminated (met before, not after). *)
+
+val pp : Format.formatter -> t -> unit
+
+val pp_timeline : ?width:int -> Format.formatter -> t -> unit
+(** ASCII meeting timeline: one row per committee, time bucketed into
+    [width] columns (default 64), [#] where the committee met during the
+    bucket.  The at-a-glance picture of concurrency and fairness. *)

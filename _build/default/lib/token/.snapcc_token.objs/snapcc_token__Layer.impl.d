@@ -1,0 +1,1 @@
+lib/token/layer.ml: Array Format Random Snapcc_hypergraph Snapcc_runtime

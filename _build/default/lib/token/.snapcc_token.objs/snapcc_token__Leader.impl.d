@@ -1,0 +1,1 @@
+lib/token/leader.ml: Array Format Fun List Queue Random Snapcc_hypergraph Snapcc_runtime String

@@ -1,0 +1,1 @@
+lib/token/leader.mli: Format Random Snapcc_hypergraph Snapcc_runtime

@@ -1,0 +1,1 @@
+lib/token/token_tree.ml: Array Format Leader List Random Snapcc_hypergraph Snapcc_runtime

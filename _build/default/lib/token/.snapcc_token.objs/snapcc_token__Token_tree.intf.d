@@ -1,0 +1,1 @@
+lib/token/token_tree.mli: Layer Leader Snapcc_hypergraph

@@ -1,0 +1,1 @@
+lib/token/token_vring.ml: Format Random Snapcc_hypergraph Snapcc_runtime

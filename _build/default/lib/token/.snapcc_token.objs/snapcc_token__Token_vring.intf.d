@@ -1,0 +1,1 @@
+lib/token/token_vring.mli: Layer

@@ -1,0 +1,75 @@
+(** The token-circulation module [TC] of the paper (§4.1, Property 1).
+
+    The committee-coordination layer sees [TC] as a black box providing the
+    [Token(p)] input predicate and the [ReleaseToken(p)] statement; [TC]
+    additionally owns internal stabilization actions (leader election, tree
+    maintenance, privilege forwarding) that the fair composition [CC ∘ TC]
+    schedules alongside the committee actions.
+
+    Property 1 requires that, once stabilized, (i) at most one process
+    satisfies [Token(p)] at a time, and (ii) releasing makes every process
+    hold the token infinitely often — provided releases keep happening,
+    which the CC layers guarantee (CC1's [Token2]/[Step4]; CC2's Lemma 11). *)
+
+module type S = sig
+  type state
+
+  val name : string
+  val pp_state : Format.formatter -> state -> unit
+  val equal_state : state -> state -> bool
+
+  val init : Snapcc_hypergraph.Hypergraph.t -> int -> state
+  (** Canonical initial state (a legitimate configuration with one token). *)
+
+  val random_init :
+    Snapcc_hypergraph.Hypergraph.t -> Random.State.t -> int -> state
+  (** Arbitrary state over the whole domain (transient-fault outcome):
+      several tokens, none, broken trees — the layer must recover. *)
+
+  val has_token :
+    Snapcc_hypergraph.Hypergraph.t -> read:(int -> state) -> int -> bool
+  (** [Token(p)].  Only reads the states of [p] and of its neighbors. *)
+
+  val release :
+    Snapcc_hypergraph.Hypergraph.t -> read:(int -> state) -> int -> state
+  (** [ReleaseToken(p)]: the emulated action [T].  New local state of [p];
+      identity when [p] does not actually hold a token. *)
+
+  val internal_actions :
+    Snapcc_hypergraph.Hypergraph.t -> state Snapcc_runtime.Model.action list
+  (** Stabilization and forwarding actions, in code order (last = highest
+      priority).  Compositions append them {e after} the CC actions, giving
+      them priority; they are all self-disabling, so the CC layer is never
+      starved (fair composition, §2.2). *)
+end
+
+(** A standalone [Model.ALGO] wrapper so a token layer can be run and tested
+    in isolation: release is exposed as an always-ready action guarded by
+    [has_token]. *)
+module As_algo (T : S) : Snapcc_runtime.Model.ALGO with type state = T.state =
+struct
+  module Model = Snapcc_runtime.Model
+
+  type state = T.state
+
+  let name = T.name ^ "/standalone"
+  let pp_state = T.pp_state
+  let equal_state = T.equal_state
+  let init = T.init
+  let random_init = T.random_init
+
+  (* [T] first (lowest priority): the self-disabling internal stabilization
+     actions must preempt releases, mirroring the fair composition used by
+     [CC ∘ TC] — otherwise a degenerate privilege (e.g. a root with a stale
+     child list) could starve the stabilization layer. *)
+  let actions h =
+    { Model.label = "T";
+      guard = (fun ctx -> T.has_token h ~read:ctx.Model.read ctx.Model.self);
+      apply = (fun ctx -> T.release h ~read:ctx.Model.read ctx.Model.self) }
+    :: T.internal_actions h
+
+  let observe h states p =
+    let read = Array.get states in
+    Snapcc_runtime.Obs.make ~has_token:(T.has_token h ~read p)
+      ~token_flag:(T.has_token h ~read p) Snapcc_runtime.Obs.Looking
+end

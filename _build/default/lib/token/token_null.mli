@@ -1,0 +1,6 @@
+(** The degenerate token layer: nobody ever holds a token.
+
+    For the ablation experiments only — composing CC1 with this layer shows
+    why the circulating token is needed for Progress. *)
+
+include Layer.S with type state = unit

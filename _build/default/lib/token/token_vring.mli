@@ -1,0 +1,16 @@
+(** Dijkstra's K-state token circulation on the {e virtual ring} of process
+    indices [0 -> 1 -> ... -> n-1 -> 0].
+
+    Self-stabilizing with [K = n+1] {e provided the token keeps moving}
+    (Dijkstra's convergence needs the master's moves, which here are
+    releases).  The ring ignores the communication topology, so this layer
+    is an {e oracle}: it violates locality, and exists to unit-test the CC
+    layers in isolation from the tree substrate.  {!Token_tree} is the
+    honest implementation — and, unlike this one, it stabilizes
+    independently of releases (Property 1's third bullet). *)
+
+type state = { v : int }
+(** The Dijkstra counter (exposed so experiments can build exact initial
+    configurations). *)
+
+include Layer.S with type state := state

@@ -1,0 +1,1 @@
+lib/workload/workload.ml: Array List Printf Random Snapcc_hypergraph Snapcc_runtime

@@ -1,0 +1,1 @@
+lib/workload/workload.mli: Snapcc_hypergraph Snapcc_runtime

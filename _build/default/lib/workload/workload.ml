@@ -1,0 +1,99 @@
+module H = Snapcc_hypergraph.Hypergraph
+module Model = Snapcc_runtime.Model
+module Obs = Snapcc_runtime.Obs
+
+type t = {
+  name : string;
+  inputs : Obs.t array -> Model.inputs;
+  observe : step:int -> Obs.t array -> unit;
+}
+
+let name w = w.name
+let inputs w obs = w.inputs obs
+let observe w ~step obs = w.observe ~step obs
+
+(* Discussion timers shared by the request-driven workloads: a professor
+   that has been [done] for [disc_len p] consecutive steps wants out, and
+   the desire is sticky until it actually leaves (paper §4.2: once
+   [RequestOut(p)] is true, it remains true until [p] becomes idle). *)
+let discussion_timers ?(disc_len = fun _ -> 2) h =
+  let n = H.n h in
+  let done_for = Array.make n 0 in
+  let wants_out = Array.make n false in
+  let observe (obs : Obs.t array) =
+    Array.iteri
+      (fun p (o : Obs.t) ->
+        match o.Obs.status with
+        | Obs.Done ->
+          done_for.(p) <- done_for.(p) + 1;
+          if done_for.(p) >= disc_len p then wants_out.(p) <- true
+        | Obs.Idle | Obs.Looking | Obs.Waiting ->
+          done_for.(p) <- 0;
+          wants_out.(p) <- false)
+      obs
+  in
+  let request_out p = wants_out.(p) in
+  (observe, request_out)
+
+let always_requesting ?disc_len h =
+  let observe_timers, request_out = discussion_timers ?disc_len h in
+  {
+    name = "always-requesting";
+    inputs = (fun _obs -> { Model.request_in = (fun _ -> true); request_out });
+    observe = (fun ~step:_ obs -> observe_timers obs);
+  }
+
+let bursty ?disc_len ?(p_request = 0.2) ~seed h =
+  let n = H.n h in
+  let rng = Random.State.make [| seed; n; 0xb1 |] in
+  let observe_timers, request_out = discussion_timers ?disc_len h in
+  let pending = Array.make n false in
+  let observe ~step:_ (obs : Obs.t array) =
+    observe_timers obs;
+    Array.iteri
+      (fun p (o : Obs.t) ->
+        match o.Obs.status with
+        | Obs.Idle ->
+          if (not pending.(p)) && Random.State.float rng 1.0 < p_request then
+            pending.(p) <- true
+        | Obs.Looking | Obs.Waiting | Obs.Done -> pending.(p) <- false)
+      obs
+  in
+  {
+    name = Printf.sprintf "bursty(p=%.2f)" p_request;
+    inputs = (fun _obs -> { Model.request_in = Array.get pending; request_out });
+    observe;
+  }
+
+let selective ?disc_len ~requesters h =
+  let observe_timers, request_out = discussion_timers ?disc_len h in
+  let wants = Array.make (H.n h) false in
+  List.iter (fun p -> wants.(p) <- true) requesters;
+  {
+    name = "selective";
+    inputs = (fun _obs -> { Model.request_in = Array.get wants; request_out });
+    observe = (fun ~step:_ obs -> observe_timers obs);
+  }
+
+let infinite_meetings _h =
+  {
+    name = "infinite-meetings";
+    inputs =
+      (fun _obs ->
+        { Model.request_in = (fun _ -> true); request_out = (fun _ -> false) });
+    observe = (fun ~step:_ _ -> ());
+  }
+
+let of_closures ~name ~inputs ~observe = { name; inputs; observe }
+
+let scripted ~name ~request_in ~request_out () =
+  (* the upcoming step index is one past the last observed step *)
+  let upcoming = ref 0 in
+  {
+    name;
+    inputs =
+      (fun _obs ->
+        let s = !upcoming in
+        { Model.request_in = request_in ~step:s; request_out = request_out ~step:s });
+    observe = (fun ~step _ -> upcoming := step + 1);
+  }

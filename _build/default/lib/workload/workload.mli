@@ -1,0 +1,59 @@
+(** Professors as request generators.
+
+    A workload drives the [RequestIn]/[RequestOut] input predicates of §2.3
+    from the observable configuration, honoring the paper's contract:
+    [RequestOut(p)] eventually holds while [p] discusses (or once the
+    meeting around it has broken up), and it remains true until [p] leaves.
+    Workloads are deterministic given their seed. *)
+
+type t
+
+val name : t -> string
+
+val inputs : t -> Snapcc_runtime.Obs.t array -> Snapcc_runtime.Model.inputs
+(** The input predicates for the upcoming step, given the current
+    configuration. *)
+
+val observe : t -> step:int -> Snapcc_runtime.Obs.t array -> unit
+(** Post-step notification letting the workload advance discussion timers. *)
+
+val always_requesting :
+  ?disc_len:(int -> int) -> Snapcc_hypergraph.Hypergraph.t -> t
+(** Professors wait for meetings infinitely often (the §5 assumption):
+    [RequestIn] constantly true; [RequestOut(p)] rises after [p] has spent
+    [disc_len p] steps (default 2) in the [done] status — its voluntary
+    discussion — and falls when [p] leaves. *)
+
+val bursty :
+  ?disc_len:(int -> int) -> ?p_request:float -> seed:int ->
+  Snapcc_hypergraph.Hypergraph.t -> t
+(** Idle professors toss a coin each step to start requesting (sticky until
+    served); discussion handled as in {!always_requesting}.  Exercises CC1's
+    [idle] status and [Token2] release. *)
+
+val selective :
+  ?disc_len:(int -> int) -> requesters:int list ->
+  Snapcc_hypergraph.Hypergraph.t -> t
+(** Only the listed professors ever request (the others stay idle forever):
+    the adversarial population of the Theorem 1 scenario. *)
+
+val infinite_meetings : Snapcc_hypergraph.Hypergraph.t -> t
+(** Everyone requests, nobody ever agrees to leave: meetings last forever.
+    This is the artefact used to define Maximal Concurrency (Definition 2)
+    and the quiescent state of the Degree of Fair Concurrency
+    (Definition 5). *)
+
+val of_closures :
+  name:string ->
+  inputs:(Snapcc_runtime.Obs.t array -> Snapcc_runtime.Model.inputs) ->
+  observe:(step:int -> Snapcc_runtime.Obs.t array -> unit) ->
+  t
+(** Fully custom reactive workload (used by the scenario replays). *)
+
+val scripted :
+  name:string ->
+  request_in:(step:int -> int -> bool) ->
+  request_out:(step:int -> int -> bool) ->
+  unit -> t
+(** Fully scripted predicates (deterministic replays of the paper's
+    figures). *)

@@ -1,0 +1,1 @@
+test/test_cc23.ml: Alcotest Array Format Fun List Printf QCheck QCheck_alcotest Snapcc_analysis Snapcc_experiments Snapcc_hypergraph Snapcc_runtime Snapcc_workload

@@ -1,0 +1,1 @@
+test/test_hypergraph.ml: Alcotest Array Filename Fun List Printf QCheck QCheck_alcotest Snapcc_hypergraph Sys

@@ -1,0 +1,1 @@
+test/test_metrics.ml: Alcotest Array Format List Snapcc_analysis Snapcc_hypergraph Snapcc_runtime String

@@ -1,0 +1,1 @@
+test/test_mp.ml: Alcotest Array Fun List Printf Snapcc_analysis Snapcc_experiments Snapcc_hypergraph Snapcc_mp Snapcc_runtime Snapcc_workload

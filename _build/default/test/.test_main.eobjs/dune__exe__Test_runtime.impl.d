@@ -1,0 +1,1 @@
+test/test_runtime.ml: Alcotest Format Int List Random Snapcc_hypergraph Snapcc_runtime String

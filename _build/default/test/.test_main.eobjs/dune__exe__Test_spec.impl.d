@@ -1,0 +1,1 @@
+test/test_spec.ml: Alcotest Array List Snapcc_analysis Snapcc_hypergraph Snapcc_runtime

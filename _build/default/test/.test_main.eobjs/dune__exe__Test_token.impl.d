@@ -1,0 +1,1 @@
+test/test_token.ml: Alcotest Array Fun List Printf QCheck QCheck_alcotest Snapcc_hypergraph Snapcc_runtime Snapcc_token

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array List Snapcc_hypergraph Snapcc_runtime Snapcc_workload

@@ -1,0 +1,112 @@
+(* The §6 baselines: safe from clean starts, live under ordered
+   acquisition, and measurably weaker than CC1/CC2 where the paper says so. *)
+
+module H = Snapcc_hypergraph.Hypergraph
+module Families = Snapcc_hypergraph.Families
+module Daemon = Snapcc_runtime.Daemon
+module Obs = Snapcc_runtime.Obs
+module Workload = Snapcc_workload.Workload
+module Metrics = Snapcc_analysis.Metrics
+module X = Snapcc_experiments.Algos
+module Driver = Snapcc_experiments.Driver
+
+let check = Alcotest.(check bool)
+
+let assert_clean name (r : Driver.result) =
+  List.iter
+    (fun v ->
+      Alcotest.failf "%s: %s" name
+        (Format.asprintf "%a" Snapcc_analysis.Spec.pp_violation v))
+    r.Driver.violations
+
+let topologies () =
+  [ ("fig1", Families.fig1 ());
+    ("fig4", Families.fig4 ());
+    ("ring6", Families.pair_ring 6);
+  ]
+
+let test_dining_safety_liveness () =
+  List.iter
+    (fun (name, h) ->
+      List.iter
+        (fun daemon ->
+          let r =
+            X.Run_dining.run ~seed:3 ~daemon
+              ~workload:(Workload.always_requesting h) ~steps:6_000 h
+          in
+          assert_clean ("dining " ^ name) r;
+          check
+            (Printf.sprintf "dining/%s/%s: meetings keep convening" name
+               (Daemon.name daemon))
+            true
+            (r.Driver.summary.Metrics.convenes > 10))
+        [ Daemon.synchronous; Daemon.central (); Daemon.random_subset () ])
+    (topologies ())
+
+let test_central_safety_liveness () =
+  List.iter
+    (fun (name, h) ->
+      let r =
+        X.Run_central.run ~seed:3 ~daemon:(Daemon.random_subset ())
+          ~workload:(Workload.always_requesting h) ~steps:6_000 h
+      in
+      assert_clean ("central " ^ name) r;
+      check (Printf.sprintf "central/%s: meetings keep convening" name) true
+        (r.Driver.summary.Metrics.convenes > 10))
+    (topologies ())
+
+let test_dining_hosts () =
+  let h = Families.fig4 () in
+  (* host of a committee = min-identifier member *)
+  Alcotest.(check int) "host of {1,2,5,8}" 0 (Snapcc_baselines.Dining.host h 0);
+  Alcotest.(check int) "host of {8,9}" 7 (Snapcc_baselines.Dining.host h 3)
+
+let test_dining_no_deadlock_long () =
+  (* ordered acquisition must avoid deadlock even on the committee-dense
+     3-uniform ring *)
+  let h = Families.k_uniform_ring ~n:9 ~k:3 in
+  let r =
+    X.Run_dining.run ~seed:4 ~daemon:(Daemon.random_subset ())
+      ~workload:(Workload.always_requesting h) ~steps:20_000 h
+  in
+  assert_clean "dining triring" r;
+  check "sustained throughput" true (r.Driver.summary.Metrics.convenes > 100)
+
+let test_cc1_no_token_safety () =
+  (* the ablation keeps all safety properties; only Progress is at risk *)
+  let h = Families.fig1 () in
+  let r =
+    X.Run_cc1_no_token.run ~seed:3 ~init:`Random ~daemon:(Daemon.random_subset ())
+      ~workload:(Workload.always_requesting h) ~steps:5_000 h
+  in
+  assert_clean "cc1-no-token" r
+
+let test_central_not_local () =
+  (* the coordinator legitimately reads everyone: the locality check must
+     catch it (by contrast CC1/CC2 pass it; see test_cc1/test_cc23) *)
+  let h = Families.path 4 in
+  match
+    X.Run_central.run ~check_locality:true ~seed:1
+      ~daemon:(Daemon.random_subset ()) ~workload:(Workload.always_requesting h)
+      ~steps:500 h
+  with
+  | exception Failure msg ->
+    check "locality violation reported" true
+      (String.length msg >= 8 && String.sub msg 0 8 = "locality")
+  | _r -> Alcotest.fail "central baseline unexpectedly local"
+
+let suite =
+  [ ( "baselines",
+      [ Alcotest.test_case "dining: safety and liveness" `Slow
+          test_dining_safety_liveness;
+        Alcotest.test_case "central: safety and liveness" `Quick
+          test_central_safety_liveness;
+        Alcotest.test_case "dining hosts" `Quick test_dining_hosts;
+        Alcotest.test_case "dining: no deadlock on dense ring" `Slow
+          test_dining_no_deadlock_long;
+        Alcotest.test_case "cc1 without token stays safe" `Quick
+          test_cc1_no_token_safety;
+        Alcotest.test_case "central coordinator is not local" `Quick
+          test_central_not_local;
+      ] );
+  ]

@@ -1,0 +1,231 @@
+(* Algorithm 1 (CC1 ∘ TC): safety under every regime, maximal concurrency,
+   progress, 2-phase discussion, locality, and the Lemma 3 closure. *)
+
+module H = Snapcc_hypergraph.Hypergraph
+module Families = Snapcc_hypergraph.Families
+module Matching = Snapcc_hypergraph.Matching
+module Model = Snapcc_runtime.Model
+module Daemon = Snapcc_runtime.Daemon
+module Obs = Snapcc_runtime.Obs
+module Workload = Snapcc_workload.Workload
+module Metrics = Snapcc_analysis.Metrics
+module X = Snapcc_experiments.Algos
+module Driver = Snapcc_experiments.Driver
+module Common = Snapcc_experiments.Exp_common
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let assert_clean name (r : Driver.result) =
+  List.iter
+    (fun v ->
+      Alcotest.failf "%s: %s" name
+        (Format.asprintf "%a" Snapcc_analysis.Spec.pp_violation v))
+    r.Driver.violations
+
+let topologies () =
+  [ ("fig1", Families.fig1 ());
+    ("fig2", Families.fig2 ());
+    ("ring6", Families.pair_ring 6);
+    ("shuffled", Families.with_shuffled_ids ~seed:5 (Families.fig1 ()));
+  ]
+
+let test_safety_sweep () =
+  List.iter
+    (fun (name, h) ->
+      List.iter
+        (fun daemon ->
+          List.iter
+            (fun (iname, init) ->
+              let r =
+                X.Run_cc1.run ~seed:3 ~init ~daemon
+                  ~workload:(Workload.always_requesting h) ~steps:3_000 h
+              in
+              let label =
+                Printf.sprintf "%s/%s/%s" name (Daemon.name daemon) iname
+              in
+              assert_clean label r;
+              check (label ^ ": meetings convene") true
+                (r.Driver.summary.Metrics.convenes > 0))
+            [ ("canonical", `Canonical); ("random", `Random) ])
+        [ Daemon.synchronous; Daemon.central (); Daemon.random_subset () ])
+    (topologies ())
+
+let test_bursty_workload () =
+  let h = Families.fig1 () in
+  let r =
+    X.Run_cc1.run ~seed:11 ~daemon:(Daemon.random_subset ())
+      ~workload:(Workload.bursty ~seed:4 ~p_request:0.3 h) ~steps:6_000 h
+  in
+  assert_clean "bursty" r;
+  check "meetings convene under bursty requests" true
+    (r.Driver.summary.Metrics.convenes > 5)
+
+let test_locality () =
+  (* CC1 over the tree substrate only reads neighbors: the dynamic locality
+     check must stay silent for a full run *)
+  let h = Families.fig1 () in
+  let r =
+    X.Run_cc1.run ~check_locality:true ~seed:2 ~init:`Random
+      ~daemon:(Daemon.random_subset ()) ~workload:(Workload.always_requesting h)
+      ~steps:2_000 h
+  in
+  assert_clean "locality run" r;
+  check "ran to horizon" true (r.Driver.steps > 0)
+
+let test_maximal_concurrency () =
+  (* Definition 2 via infinite meetings: the quiescent meeting set must be a
+     maximal matching *)
+  List.iter
+    (fun (name, h) ->
+      List.iter
+        (fun daemon ->
+          let r =
+            X.Run_cc1.run ~seed:5 ~daemon ~workload:(Workload.infinite_meetings h)
+              ~stop_when:(Common.stable_stop ~window:(60 * H.n h) ())
+              ~steps:(4_000 * H.n h) h
+          in
+          let meetings = Obs.meetings h r.Driver.final_obs in
+          check
+            (Printf.sprintf "%s/%s: quiescent meetings form a maximal matching"
+               name (Daemon.name daemon))
+            true
+            (Matching.is_maximal_matching h meetings))
+        [ Daemon.synchronous; Daemon.random_subset () ])
+    (topologies ())
+
+let test_progress_selective () =
+  (* only committee {3,4} of fig2 requests: it must convene *)
+  let h = Families.fig2 () in
+  let members = Array.to_list (H.edge_members h 2) in
+  let r =
+    X.Run_cc1.run ~seed:9 ~daemon:(Daemon.random_subset ())
+      ~workload:(Workload.selective ~requesters:members h)
+      ~stop_when:(fun obs -> Obs.meets h obs 2)
+      ~steps:4_000 h
+  in
+  check "committee {3,4} convenes" true (r.Driver.outcome = `Stopped);
+  assert_clean "selective" r
+
+let test_two_phase_counters () =
+  (* from a canonical start, every participation implies exactly one
+     essential discussion *)
+  let h = Families.fig1 () in
+  let r =
+    X.Run_cc1.run ~seed:6 ~daemon:(Daemon.random_subset ())
+      ~workload:(Workload.always_requesting h) ~steps:4_000 h
+  in
+  assert_clean "two-phase" r;
+  Array.iteri
+    (fun p (o : Obs.t) ->
+      let parts = r.Driver.participations.(p) in
+      let disc = o.Obs.discussions in
+      (* the last meeting may still be in its essential phase *)
+      check
+        (Printf.sprintf "prof %d: discussions track participations" (H.id h p))
+        true
+        (disc = parts || disc = parts - 1))
+    r.Driver.final_obs
+
+let test_infinite_meetings_never_terminate () =
+  let h = Families.pair_ring 6 in
+  let r =
+    X.Run_cc1.run ~seed:8 ~daemon:(Daemon.random_subset ())
+      ~workload:(Workload.infinite_meetings h)
+      ~stop_when:(Common.stable_stop ~window:300 ())
+      ~steps:20_000 h
+  in
+  assert_clean "infinite meetings" r;
+  (* each convene is still meeting at the end: nothing terminated *)
+  check_int "no meeting ever terminated"
+    (List.length (Obs.meetings h r.Driver.final_obs))
+    r.Driver.summary.Metrics.convenes
+
+let test_faults_mid_run () =
+  let h = Families.fig1 () in
+  let n = H.n h in
+  List.iter
+    (fun seed ->
+      let faults ~step =
+        if step mod 1_500 = 750 then List.init (n / 2) (fun i -> 2 * i) else []
+      in
+      let r =
+        X.Run_cc1.run ~seed ~init:`Random ~faults ~daemon:(Daemon.random_subset ())
+          ~workload:(Workload.always_requesting h) ~steps:6_000 h
+      in
+      assert_clean (Printf.sprintf "faults seed=%d" seed) r;
+      check "still live after faults" true (r.Driver.summary.Metrics.convenes > 0))
+    [ 1; 2; 3 ]
+
+(* Lemma 3: Correct(p) is closed under steps, from arbitrary configurations
+   and arbitrary inputs. *)
+module Cc1_engine = Snapcc_runtime.Engine.Make (X.Cc1)
+
+let qcheck_correct_closure =
+  QCheck.Test.make ~name:"Lemma 3: Correct(p) closure" ~count:60
+    (QCheck.make
+       ~print:(fun (s, t) -> Printf.sprintf "seed=%d topo=%d" s t)
+       QCheck.Gen.(pair (int_bound 100_000) (int_bound 3)))
+    (fun (seed, t) ->
+      let h = snd (List.nth (topologies ()) t) in
+      let eng =
+        Cc1_engine.create ~seed ~init:`Random ~daemon:(Daemon.random_subset ()) h
+      in
+      let inputs =
+        { Model.request_in = (fun _ -> true); request_out = (fun _ -> true) }
+      in
+      let correct_set () =
+        List.filter
+          (fun p -> X.Cc1.correct h ~read:(Cc1_engine.state eng) p)
+          (List.init (H.n h) Fun.id)
+      in
+      let ok = ref true in
+      let prev = ref (correct_set ()) in
+      for _ = 1 to 25 do
+        if not (Cc1_engine.is_terminal eng ~inputs) then begin
+          ignore (Cc1_engine.step eng ~inputs);
+          let now = correct_set () in
+          if not (List.for_all (fun p -> List.mem p now) !prev) then ok := false;
+          prev := now
+        end
+      done;
+      !ok)
+
+(* After at most one round every process is Correct forever (Corollary 3). *)
+let test_stabilization_actions () =
+  let h = Families.fig1 () in
+  List.iter
+    (fun seed ->
+      let eng =
+        Cc1_engine.create ~seed ~init:`Random ~daemon:Daemon.synchronous h
+      in
+      let inputs = Model.always_in in
+      (* one synchronous step = one round *)
+      ignore (Cc1_engine.step eng ~inputs);
+      for p = 0 to H.n h - 1 do
+        check
+          (Printf.sprintf "Correct(%d) after one synchronous round" p)
+          true
+          (X.Cc1.correct h ~read:(Cc1_engine.state eng) p)
+      done)
+    [ 4; 5; 6; 7 ]
+
+let suite =
+  [ ( "cc1",
+      [ Alcotest.test_case "safety sweep (daemons x inits)" `Slow test_safety_sweep;
+        Alcotest.test_case "bursty workload" `Quick test_bursty_workload;
+        Alcotest.test_case "locality of reads" `Quick test_locality;
+        Alcotest.test_case "maximal concurrency (Def. 2)" `Slow
+          test_maximal_concurrency;
+        Alcotest.test_case "progress for a selective committee" `Quick
+          test_progress_selective;
+        Alcotest.test_case "2-phase discussion counters" `Quick
+          test_two_phase_counters;
+        Alcotest.test_case "infinite meetings never terminate" `Quick
+          test_infinite_meetings_never_terminate;
+        Alcotest.test_case "transient faults mid-run" `Quick test_faults_mid_run;
+        Alcotest.test_case "stabilization within one round" `Quick
+          test_stabilization_actions;
+      ] );
+    ("cc1:qcheck", [ QCheck_alcotest.to_alcotest ~long:false qcheck_correct_closure ]);
+  ]

@@ -1,0 +1,232 @@
+(* Algorithm 2 (CC2 ∘ TC) and the CC3 variant: safety, professor and
+   committee fairness, locks, Lemma 8 closure, waiting-time sanity. *)
+
+module H = Snapcc_hypergraph.Hypergraph
+module Families = Snapcc_hypergraph.Families
+module Model = Snapcc_runtime.Model
+module Daemon = Snapcc_runtime.Daemon
+module Obs = Snapcc_runtime.Obs
+module Workload = Snapcc_workload.Workload
+module Metrics = Snapcc_analysis.Metrics
+module X = Snapcc_experiments.Algos
+module Driver = Snapcc_experiments.Driver
+
+let check = Alcotest.(check bool)
+
+let assert_clean name (r : Driver.result) =
+  List.iter
+    (fun v ->
+      Alcotest.failf "%s: %s" name
+        (Format.asprintf "%a" Snapcc_analysis.Spec.pp_violation v))
+    r.Driver.violations
+
+let topologies () =
+  [ ("fig1", Families.fig1 ());
+    ("fig4", Families.fig4 ());
+    ("ring5", Families.pair_ring 5);
+    ("shuffled", Families.with_shuffled_ids ~seed:8 (Families.fig4 ()));
+  ]
+
+(* uniform closures over the differently-typed driver functors *)
+type runner_fn =
+  ?check_locality:bool ->
+  ?faults:(step:int -> int list) ->
+  seed:int ->
+  init:[ `Canonical | `Random ] ->
+  daemon:Daemon.t ->
+  workload:Workload.t ->
+  steps:int ->
+  H.t ->
+  Driver.result
+
+let runners () : (string * runner_fn) list =
+  [ ( "CC2",
+      fun ?check_locality ?faults ~seed ~init ~daemon ~workload ~steps h ->
+        X.Run_cc2.run ?check_locality ?faults ~seed ~init ~daemon ~workload
+          ~steps h );
+    ( "CC3",
+      fun ?check_locality ?faults ~seed ~init ~daemon ~workload ~steps h ->
+        X.Run_cc3.run ?check_locality ?faults ~seed ~init ~daemon ~workload
+          ~steps h );
+  ]
+
+let test_safety_sweep () =
+  List.iter
+    (fun (name, h) ->
+      List.iter
+        (fun daemon ->
+          List.iter
+            (fun (iname, init) ->
+              List.iter
+                (fun ((alg, run) : string * runner_fn) ->
+                  let r =
+                    run ~seed:3 ~init ~daemon
+                      ~workload:(Workload.always_requesting h) ~steps:3_000 h
+                  in
+                  let label =
+                    Printf.sprintf "%s/%s/%s/%s" alg name (Daemon.name daemon) iname
+                  in
+                  assert_clean label r;
+                  check (label ^ ": meetings convene") true
+                    (r.Driver.summary.Metrics.convenes > 0))
+                (runners ()))
+            [ ("canonical", `Canonical); ("random", `Random) ])
+        [ Daemon.synchronous; Daemon.central (); Daemon.random_subset () ])
+    (topologies ())
+
+let test_professor_fairness () =
+  List.iter
+    (fun (name, h) ->
+      List.iter
+        (fun daemon ->
+          List.iter
+            (fun ((alg, run) : string * runner_fn) ->
+              let r =
+                run ~seed:13 ~init:`Random ~daemon
+                  ~workload:(Workload.always_requesting h) ~steps:12_000 h
+              in
+              Array.iteri
+                (fun p c ->
+                  check
+                    (Printf.sprintf "%s/%s/%s: professor %d participates" alg name
+                       (Daemon.name daemon) (H.id h p))
+                    true (c > 0))
+                r.Driver.participations)
+            (runners ()))
+        [ Daemon.synchronous; Daemon.random_subset ~p:0.2 () ])
+    (topologies ())
+
+let test_locality () =
+  let h = Families.fig4 () in
+  List.iter
+    (fun ((alg, run) : string * runner_fn) ->
+      let r =
+        run ~check_locality:true ~seed:2 ~init:`Random
+          ~daemon:(Daemon.random_subset ()) ~workload:(Workload.always_requesting h)
+          ~steps:2_000 h
+      in
+      assert_clean (alg ^ " locality") r)
+    (runners ())
+
+let test_locks_fig4 () =
+  let r = Snapcc_experiments.Exp_locks.run () in
+  check "Fig. 4 lock scenario" true (Snapcc_experiments.Exp_locks.ok r)
+
+let test_committee_fairness_cc3 () =
+  let h = Families.fig1 () in
+  let r =
+    X.Run_cc3.run ~seed:21 ~daemon:(Daemon.random_subset ())
+      ~workload:(Workload.always_requesting h) ~steps:20_000 h
+  in
+  assert_clean "cc3 committee fairness" r;
+  Array.iteri
+    (fun e c ->
+      check
+        (Printf.sprintf "committee %d convenes repeatedly" e)
+        true (c >= 3))
+    r.Driver.convene_count
+
+let test_faults_mid_run () =
+  let h = Families.fig4 () in
+  let n = H.n h in
+  List.iter
+    (fun ((alg, run) : string * runner_fn) ->
+      let faults ~step =
+        if step mod 2_000 = 900 then List.init (n / 2) (fun i -> 2 * i) else []
+      in
+      let r =
+        run ~seed:5 ~init:`Random ~faults ~daemon:(Daemon.random_subset ())
+          ~workload:(Workload.always_requesting h) ~steps:8_000 h
+      in
+      assert_clean (alg ^ " faults") r;
+      check (alg ^ ": still fair after faults") true
+        (Array.for_all (fun c -> c > 0) r.Driver.participations))
+    (runners ())
+
+let test_token_only_low_concurrency () =
+  (* the §6 circulating-token baseline never overlaps convening paths: its
+     mean concurrency must stay below CC2's on the same inputs *)
+  let h = Families.pair_ring 6 in
+  let cc2 =
+    X.Run_cc2.run ~seed:30 ~daemon:(Daemon.random_subset ())
+      ~workload:(Workload.always_requesting h) ~steps:8_000 h
+  in
+  let only =
+    X.Run_token_only.run ~seed:30 ~daemon:(Daemon.random_subset ())
+      ~workload:(Workload.always_requesting h) ~steps:8_000 h
+  in
+  assert_clean "token-only" only;
+  check "token-only concurrency below CC2" true
+    (only.Driver.summary.Metrics.mean_concurrency
+     < cc2.Driver.summary.Metrics.mean_concurrency);
+  check "token-only still fair" true
+    (Array.for_all (fun c -> c > 0) only.Driver.participations)
+
+(* Lemma 8: Correct(p) closure for CC2. *)
+module Cc2_engine = Snapcc_runtime.Engine.Make (X.Cc2)
+
+let qcheck_correct_closure =
+  QCheck.Test.make ~name:"Lemma 8: Correct(p) closure (CC2)" ~count:60
+    (QCheck.make
+       ~print:(fun (s, t) -> Printf.sprintf "seed=%d topo=%d" s t)
+       QCheck.Gen.(pair (int_bound 100_000) (int_bound 3)))
+    (fun (seed, t) ->
+      let h = snd (List.nth (topologies ()) t) in
+      let eng =
+        Cc2_engine.create ~seed ~init:`Random ~daemon:(Daemon.random_subset ()) h
+      in
+      let inputs =
+        { Model.request_in = (fun _ -> true); request_out = (fun _ -> true) }
+      in
+      let correct_set () =
+        List.filter
+          (fun p -> X.Cc2.correct h ~read:(Cc2_engine.state eng) p)
+          (List.init (H.n h) Fun.id)
+      in
+      let ok = ref true in
+      let prev = ref (correct_set ()) in
+      for _ = 1 to 25 do
+        if not (Cc2_engine.is_terminal eng ~inputs) then begin
+          ignore (Cc2_engine.step eng ~inputs);
+          let now = correct_set () in
+          if not (List.for_all (fun p -> List.mem p now) !prev) then ok := false;
+          prev := now
+        end
+      done;
+      !ok)
+
+(* Corollary 5: after at most one round every process satisfies Correct
+   forever (one synchronous step = one round). *)
+let test_stabilization_one_round () =
+  let h = Families.fig4 () in
+  List.iter
+    (fun seed ->
+      let eng =
+        Cc2_engine.create ~seed ~init:`Random ~daemon:Daemon.synchronous h
+      in
+      let inputs = Model.always_in in
+      ignore (Cc2_engine.step eng ~inputs);
+      for p = 0 to H.n h - 1 do
+        check
+          (Printf.sprintf "Correct(%d) after one synchronous round" p)
+          true
+          (X.Cc2.correct h ~read:(Cc2_engine.state eng) p)
+      done)
+    [ 4; 5; 6; 7 ]
+
+let suite =
+  [ ( "cc23",
+      [ Alcotest.test_case "safety sweep (daemons x inits)" `Slow test_safety_sweep;
+        Alcotest.test_case "professor fairness" `Slow test_professor_fairness;
+        Alcotest.test_case "locality of reads" `Quick test_locality;
+        Alcotest.test_case "Fig. 4 locks" `Quick test_locks_fig4;
+        Alcotest.test_case "CC3 committee fairness" `Quick
+          test_committee_fairness_cc3;
+        Alcotest.test_case "transient faults mid-run" `Quick test_faults_mid_run;
+        Alcotest.test_case "token-only baseline loses concurrency" `Quick
+          test_token_only_low_concurrency;
+        Alcotest.test_case "stabilization within one round" `Quick
+          test_stabilization_one_round;
+      ] );
+    ("cc23:qcheck", [ QCheck_alcotest.to_alcotest ~long:false qcheck_correct_closure ]);
+  ]

@@ -1,0 +1,118 @@
+(* End-to-end experiment modules (quick mode): every table renders, every
+   paper-shape assertion holds. *)
+
+module E = Snapcc_experiments
+module Driver = Snapcc_experiments.Driver
+
+let check = Alcotest.(check bool)
+
+let test_fig1 () =
+  let r = E.Exp_fig1.run () in
+  check "underlying network matches the paper" true (E.Exp_fig1.ok r)
+
+let test_impossibility () =
+  let r = E.Exp_impossibility.run ~quick:true () in
+  check "CC1 starves professor 5" true
+    (E.Exp_impossibility.prof5_participations r.E.Exp_impossibility.cc1 = 0);
+  check "CC2 serves professor 5" true
+    (E.Exp_impossibility.prof5_participations r.E.Exp_impossibility.cc2 > 0);
+  check "CC1 alternation sustained" true (r.E.Exp_impossibility.cc1_ac_convenes > 50);
+  check "both runs clean" true
+    (r.E.Exp_impossibility.cc1.Driver.violations = []
+     && r.E.Exp_impossibility.cc2.Driver.violations = [])
+
+let test_cc1_trace () =
+  let r = E.Exp_cc1_trace.run ~quick:true () in
+  check "worked example shape" true (E.Exp_cc1_trace.ok r)
+
+let test_locks () =
+  let r = E.Exp_locks.run () in
+  check "Fig. 4 checks" true (E.Exp_locks.ok r)
+
+let test_snap () =
+  let r = E.Exp_snap.run ~quick:true () in
+  check "snap grid" true (E.Exp_snap.ok r)
+
+let test_fair_concurrency () =
+  let r = E.Exp_fair_concurrency.run ~quick:true () in
+  check "Theorem 4/5/7/8 bounds hold" true (E.Exp_fair_concurrency.ok r)
+
+let test_waiting_time () =
+  let r = E.Exp_waiting_time.run ~quick:true () in
+  (* the O(maxDisc x n) constant: generous cap, the shape is what matters *)
+  check "waiting ratio bounded" true (E.Exp_waiting_time.max_ratio r < 30.)
+
+let test_committee_fairness () =
+  let r = E.Exp_committee_fairness.run ~quick:true () in
+  check "CC3 leaves no committee starved" true (E.Exp_committee_fairness.ok r)
+
+let test_baselines_shape () =
+  let r = E.Exp_baselines.run ~quick:true () in
+  List.iter
+    (fun topo ->
+      let conc algo = (E.Exp_baselines.find r ~algo ~topo).E.Exp_baselines.mean_concurrency in
+      check
+        (topo ^ ": token-only has the lowest concurrency of the safe schemes")
+        true
+        (conc "token-only" < conc "CC1" && conc "token-only" < conc "CC2"))
+    [ "fig1"; "ring6" ]
+
+let test_token () =
+  let r = E.Exp_token.run ~quick:true () in
+  check "token laps measured everywhere" true (E.Exp_token.ok r)
+
+let test_ablations () =
+  let r = E.Exp_ablation.run ~quick:true () in
+  check "retention and selection ablations" true (E.Exp_ablation.ok r)
+
+let test_conjecture () =
+  let r = E.Exp_conjecture.run ~quick:true () in
+  check "bounded-wait separation" true (E.Exp_conjecture.ok r)
+
+let test_message_passing () =
+  let r = E.Exp_message_passing.run ~quick:true () in
+  check "message-passing probe" true (E.Exp_message_passing.ok r)
+
+let test_dynamic () =
+  let r = E.Exp_dynamic.run ~quick:true () in
+  check "dynamic hypergraph phases" true (E.Exp_dynamic.ok r)
+
+let test_priorities () =
+  let r = E.Exp_priorities.run ~quick:true () in
+  check "priority hints shift CC1's convening" true (E.Exp_priorities.ok r)
+
+let test_registry_renders () =
+  (* ids are unique and lookup works; rendering the cheap tables works *)
+  let ids = E.Registry.ids () in
+  check "ids unique" true
+    (List.length ids = List.length (List.sort_uniq compare ids));
+  check "lookup" true (E.Registry.find "fig1" <> None);
+  check "unknown lookup" true (E.Registry.find "nope" = None);
+  match E.Registry.find "fig1" with
+  | Some e ->
+    let t = e.E.Registry.run ~quick:true in
+    check "table renders" true (String.length (E.Table.to_string t) > 0)
+  | None -> Alcotest.fail "fig1 entry missing"
+
+let suite =
+  [ ( "experiments",
+      [ Alcotest.test_case "EXP-F1 fig1" `Quick test_fig1;
+        Alcotest.test_case "EXP-F2 impossibility" `Slow test_impossibility;
+        Alcotest.test_case "EXP-F3 cc1 trace" `Quick test_cc1_trace;
+        Alcotest.test_case "EXP-F4 locks" `Quick test_locks;
+        Alcotest.test_case "EXP-T23 snap grid" `Slow test_snap;
+        Alcotest.test_case "EXP-T45 fair concurrency bounds" `Slow
+          test_fair_concurrency;
+        Alcotest.test_case "EXP-T6 waiting time" `Slow test_waiting_time;
+        Alcotest.test_case "EXP-T78 committee fairness" `Slow
+          test_committee_fairness;
+        Alcotest.test_case "EXP-BASE baselines shape" `Slow test_baselines_shape;
+        Alcotest.test_case "EXP-TC token substrate" `Slow test_token;
+        Alcotest.test_case "EXP-ABL ablations" `Slow test_ablations;
+        Alcotest.test_case "EXP-CONJ bounded waiting" `Slow test_conjecture;
+        Alcotest.test_case "EXP-MP message passing" `Slow test_message_passing;
+        Alcotest.test_case "EXP-DYN dynamic hypergraphs" `Quick test_dynamic;
+        Alcotest.test_case "EXP-PRIO committee priorities" `Slow test_priorities;
+        Alcotest.test_case "registry" `Quick test_registry_renders;
+      ] );
+  ]

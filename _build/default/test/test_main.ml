@@ -1,0 +1,6 @@
+let () =
+  Alcotest.run "snapcc"
+    (Test_hypergraph.suite @ Test_runtime.suite @ Test_token.suite
+    @ Test_cc1.suite @ Test_cc23.suite @ Test_spec.suite @ Test_metrics.suite
+    @ Test_workload.suite @ Test_baselines.suite @ Test_mp.suite
+    @ Test_safety.suite @ Test_experiments.suite)

@@ -1,0 +1,125 @@
+(* Metrics: concurrency accounting, waiting spans, convene counters. *)
+
+module Families = Snapcc_hypergraph.Families
+module Obs = Snapcc_runtime.Obs
+module Metrics = Snapcc_analysis.Metrics
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let idle = Obs.make Obs.Idle
+let looking = Obs.make Obs.Looking
+let member status eid = Obs.make ~pointer:(Some eid) status
+
+(* fig2: e0={v0,v1} e1={v0,v2,v4} e2={v2,v3} *)
+let h () = Families.fig2 ()
+
+let test_waiting_span () =
+  let h = h () in
+  let t = Metrics.create h ~initial:(Array.make 5 idle) in
+  (* v2 and v3 start waiting at step 1 *)
+  let s1 = [| idle; idle; looking; looking; idle |] in
+  Metrics.on_step t ~step:1 ~round:1 ~before:(Array.make 5 idle) ~after:s1;
+  let s2 = [| idle; idle; member Obs.Looking 2; member Obs.Looking 2; idle |] in
+  Metrics.on_step t ~step:2 ~round:1 ~before:s1 ~after:s2;
+  (* convene at step 5, round 3 *)
+  let s3 = [| idle; idle; member Obs.Waiting 2; member Obs.Waiting 2; idle |] in
+  Metrics.on_step t ~step:5 ~round:3 ~before:s2 ~after:s3;
+  let s = Metrics.finish t ~step:6 ~round:3 in
+  check_int "one convene" 1 s.Metrics.convenes;
+  check_int "two served waits" 2 (List.length s.Metrics.completed_waits_steps);
+  check "waits of 4 steps" true
+    (List.for_all (fun d -> d = 4) s.Metrics.completed_waits_steps);
+  check "waits of 2 rounds" true
+    (List.for_all (fun d -> d = 2) s.Metrics.completed_waits_rounds);
+  check_int "participations v2" 1 s.Metrics.participation.(2);
+  check_int "max concurrency" 1 s.Metrics.max_concurrency
+
+let test_open_waits_and_starvation () =
+  let h = h () in
+  let t = Metrics.create h ~initial:(Array.make 5 idle) in
+  let s1 = [| looking; idle; idle; idle; looking |] in
+  Metrics.on_step t ~step:1 ~round:1 ~before:(Array.make 5 idle) ~after:s1;
+  (* v0 leaves the waiting state without meeting; v4 keeps waiting *)
+  let s2 = [| idle; idle; idle; idle; looking |] in
+  Metrics.on_step t ~step:2 ~round:1 ~before:s1 ~after:s2;
+  let s = Metrics.finish t ~step:10 ~round:5 in
+  check_int "one open wait" 1 (List.length s.Metrics.open_waits_steps);
+  Alcotest.(check (list int)) "v4 is the starving one" [ 4 ] s.Metrics.starved;
+  check_int "max wait counts the open span" 9 s.Metrics.max_wait_steps
+
+let test_concurrency_mean () =
+  let h = h () in
+  let meet = [| member Obs.Waiting 0; member Obs.Done 0; member Obs.Waiting 2; member Obs.Waiting 2; idle |] in
+  let t = Metrics.create h ~initial:(Array.make 5 idle) in
+  Metrics.on_step t ~step:1 ~round:1 ~before:(Array.make 5 idle) ~after:meet;
+  Metrics.on_step t ~step:2 ~round:1 ~before:meet ~after:meet;
+  let s = Metrics.finish t ~step:2 ~round:1 in
+  check_int "two simultaneous meetings" 2 s.Metrics.max_concurrency;
+  check "mean concurrency 2.0" true (abs_float (s.Metrics.mean_concurrency -. 2.0) < 1e-9);
+  (* convenes counted once per meeting, not per step *)
+  check_int "two convenes" 2 s.Metrics.convenes
+
+let test_inherited_meeting_not_waiting () =
+  let h = h () in
+  (* v2,v3 meet from the start: their 'waiting' statuses are not waits *)
+  let initial = [| idle; idle; member Obs.Waiting 2; member Obs.Waiting 2; idle |] in
+  let t = Metrics.create h ~initial in
+  Metrics.on_step t ~step:1 ~round:1 ~before:initial ~after:initial;
+  let s = Metrics.finish t ~step:5 ~round:2 in
+  check_int "no open waits for meeting members" 0
+    (List.length s.Metrics.open_waits_steps)
+
+let test_helpers () =
+  check "mean of empty" true (Metrics.mean [] = 0.);
+  check "mean" true (abs_float (Metrics.mean [ 1; 2; 3 ] -. 2.) < 1e-9);
+  check_int "maximum of empty" 0 (Metrics.maximum []);
+  check_int "maximum" 9 (Metrics.maximum [ 4; 9; 1 ]);
+  check_int "p50 empty" 0 (Metrics.percentile 0.5 []);
+  check_int "p50 of 1..10" 5 (Metrics.percentile 0.5 (List.init 10 (fun i -> i + 1)));
+  check_int "p95 of 1..100" 95 (Metrics.percentile 0.95 (List.init 100 (fun i -> i + 1)));
+  check_int "p100 is max" 100 (Metrics.percentile 1.0 (List.init 100 (fun i -> i + 1)));
+  check_int "singleton" 7 (Metrics.percentile 0.5 [ 7 ])
+
+let test_timeline_rendering () =
+  let h = h () in
+  let looking = Obs.make Obs.Looking in
+  let tr =
+    Snapcc_runtime.Trace.create h ~initial:(Array.make 5 looking)
+  in
+  let meet = [| looking; looking; member Obs.Waiting 2; member Obs.Done 2; looking |] in
+  let record step obs =
+    Snapcc_runtime.Trace.record tr
+      { Snapcc_runtime.Model.step; selected = []; executed = []; neutralized = [];
+        round = 0; terminal = false }
+      obs
+  in
+  record 0 meet;
+  record 1 meet;
+  record 2 (Array.make 5 looking);
+  record 3 (Array.make 5 looking);
+  let s =
+    Format.asprintf "%a" (Snapcc_runtime.Trace.pp_timeline ~width:4) tr
+  in
+  let lines = String.split_on_char '\n' s in
+  check_int "one row per committee" 3 (List.length lines);
+  (* e2 = {3,4} met during the first half only *)
+  let row2 = List.nth lines 2 in
+  check "meeting rendered then cleared" true
+    (String.length row2 >= 4
+     &&
+     let tail = String.sub row2 (String.length row2 - 4) 4 in
+     tail = "##..")
+
+let suite =
+  [ ( "metrics",
+      [ Alcotest.test_case "waiting spans" `Quick test_waiting_span;
+        Alcotest.test_case "open waits and starvation" `Quick
+          test_open_waits_and_starvation;
+        Alcotest.test_case "concurrency accounting" `Quick test_concurrency_mean;
+        Alcotest.test_case "inherited meetings are not waits" `Quick
+          test_inherited_meeting_not_waiting;
+        Alcotest.test_case "helpers" `Quick test_helpers;
+        Alcotest.test_case "timeline rendering" `Quick test_timeline_rendering;
+      ] );
+  ]

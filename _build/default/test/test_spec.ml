@@ -1,0 +1,167 @@
+(* The specification monitor itself: each rule must fire on handcrafted
+   violating transitions and stay silent on conforming ones. *)
+
+module H = Snapcc_hypergraph.Hypergraph
+module Families = Snapcc_hypergraph.Families
+module Obs = Snapcc_runtime.Obs
+module Spec = Snapcc_analysis.Spec
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* fig2: e0={1,2}(v0,v1) e1={1,3,5}(v0,v2,v4) e2={3,4}(v2,v3) *)
+let h () = Families.fig2 ()
+
+let idle = Obs.make Obs.Idle
+
+let member status eid ~disc =
+  Obs.make ~pointer:(Some eid) ~discussions:disc status
+
+let all_idle n = Array.make n idle
+
+let rules t = List.map (fun (v : Spec.violation) -> v.Spec.rule) (Spec.violations t)
+
+let no_out _ = false
+let all_out _ = true
+
+let test_clean_convene_terminate () =
+  let h = h () in
+  let t = Spec.create h ~initial:(all_idle 5) in
+  (* professors 3,4 point and look, then wait: e2 convenes *)
+  let before =
+    [| idle; idle; member Obs.Looking 2 ~disc:0; member Obs.Looking 2 ~disc:0; idle |]
+  in
+  let mid =
+    [| idle; idle; member Obs.Waiting 2 ~disc:0; member Obs.Waiting 2 ~disc:0; idle |]
+  in
+  Spec.on_step t ~step:1 ~request_out:no_out ~before ~after:mid;
+  (* both discuss *)
+  let done_ =
+    [| idle; idle; member Obs.Done 2 ~disc:1; member Obs.Done 2 ~disc:1; idle |]
+  in
+  Spec.on_step t ~step:2 ~request_out:no_out ~before:mid ~after:done_;
+  (* one leaves with RequestOut *)
+  let after = [| idle; idle; member Obs.Done 2 ~disc:1; idle; idle |] in
+  Spec.on_step t ~step:3 ~request_out:all_out ~before:done_ ~after;
+  check "clean lifecycle has no violations" true (Spec.ok t);
+  check_int "one convene" 1 (List.length (Spec.convened t));
+  check_int "participations of prof 3" 1 (Spec.participations t).(2)
+
+let test_exclusion_rule () =
+  let h = h () in
+  let t = Spec.create h ~initial:(all_idle 5) in
+  (* In the pointer model two conflicting committees cannot both meet (the
+     shared member points at one committee) — Lemma 1 is structural.  The
+     monitor's exclusion rule exists for algorithms with different state
+     projections; here we check it stays silent on disjoint simultaneous
+     meetings. *)
+  let before =
+    [| member Obs.Looking 0 ~disc:0;
+       member Obs.Looking 0 ~disc:0;
+       member Obs.Looking 2 ~disc:0;
+       member Obs.Looking 2 ~disc:0;
+       idle |]
+  in
+  let after =
+    [| member Obs.Waiting 0 ~disc:0;
+       member Obs.Waiting 0 ~disc:0;
+       member Obs.Waiting 2 ~disc:0;
+       member Obs.Waiting 2 ~disc:0;
+       idle |]
+  in
+  Spec.on_step t ~step:1 ~request_out:no_out ~before ~after;
+  check "disjoint meetings fine" true (Spec.ok t)
+
+let test_synchronization_rule () =
+  let h = h () in
+  let t = Spec.create h ~initial:(all_idle 5) in
+  (* e2 convenes while professor 3 (v2) was done in before *)
+  let before =
+    [| idle; idle; member Obs.Done 2 ~disc:3; member Obs.Looking 2 ~disc:0; idle |]
+  in
+  let after =
+    [| idle; idle; member Obs.Done 2 ~disc:3; member Obs.Waiting 2 ~disc:0; idle |]
+  in
+  Spec.on_step t ~step:1 ~request_out:no_out ~before ~after;
+  check "synchronization violation detected" true
+    (List.mem "synchronization" (rules t))
+
+let test_essential_discussion_rule () =
+  let h = h () in
+  let t = Spec.create h ~initial:(all_idle 5) in
+  let looking_m = [| idle; idle; member Obs.Looking 2 ~disc:0; member Obs.Looking 2 ~disc:0; idle |] in
+  let waiting = [| idle; idle; member Obs.Waiting 2 ~disc:0; member Obs.Waiting 2 ~disc:0; idle |] in
+  Spec.on_step t ~step:1 ~request_out:no_out ~before:looking_m ~after:waiting;
+  (* meeting breaks while professor 4 (v3) is still waiting: no discussion *)
+  let after = [| idle; idle; idle; member Obs.Waiting 2 ~disc:0; idle |] in
+  Spec.on_step t ~step:2 ~request_out:all_out ~before:waiting ~after;
+  check "essential discussion violation detected" true
+    (List.mem "essential-discussion" (rules t))
+
+let test_voluntary_discussion_rule () =
+  let h = h () in
+  let t = Spec.create h ~initial:(all_idle 5) in
+  let waiting = [| idle; idle; member Obs.Waiting 2 ~disc:0; member Obs.Waiting 2 ~disc:0; idle |] in
+  let done_ = [| idle; idle; member Obs.Done 2 ~disc:1; member Obs.Done 2 ~disc:1; idle |] in
+  Spec.on_step t ~step:1 ~request_out:no_out
+    ~before:[| idle; idle; member Obs.Looking 2 ~disc:0; member Obs.Looking 2 ~disc:0; idle |]
+    ~after:waiting;
+  Spec.on_step t ~step:2 ~request_out:no_out ~before:waiting ~after:done_;
+  (* termination with request_out false everywhere *)
+  let after = [| idle; idle; idle; member Obs.Done 2 ~disc:1; idle |] in
+  Spec.on_step t ~step:3 ~request_out:no_out ~before:done_ ~after;
+  check "voluntary discussion violation detected" true
+    (List.mem "voluntary-discussion" (rules t))
+
+let test_initial_meetings_exempt () =
+  let h = h () in
+  (* e2 already meets in the (arbitrary) initial configuration *)
+  let initial =
+    [| idle; idle; member Obs.Waiting 2 ~disc:0; member Obs.Done 2 ~disc:0; idle |]
+  in
+  let t = Spec.create h ~initial in
+  (* it breaks up rudely: no violation, it predates the observation *)
+  let after = [| idle; idle; idle; member Obs.Done 2 ~disc:0; idle |] in
+  Spec.on_step t ~step:1 ~request_out:no_out ~before:initial ~after;
+  check "inherited meetings are exempt" true (Spec.ok t)
+
+let test_fault_exemption () =
+  let h = h () in
+  let t = Spec.create h ~initial:(all_idle 5) in
+  (* a fault materializes a meeting out of thin air *)
+  let corrupted =
+    [| idle; idle; member Obs.Waiting 2 ~disc:0; member Obs.Done 2 ~disc:0; idle |]
+  in
+  Spec.on_fault t corrupted;
+  let after = [| idle; idle; idle; member Obs.Done 2 ~disc:0; idle |] in
+  Spec.on_step t ~step:5 ~request_out:no_out ~before:corrupted ~after;
+  check "post-fault meetings are exempt" true (Spec.ok t)
+
+let test_lemma2_shape () =
+  let h = h () in
+  let t = Spec.create h ~initial:(all_idle 5) in
+  (* meeting convenes with a member already done in after: Lemma 2 broken *)
+  let before =
+    [| idle; idle; member Obs.Looking 2 ~disc:0; member Obs.Looking 2 ~disc:0; idle |]
+  in
+  let after =
+    [| idle; idle; member Obs.Waiting 2 ~disc:0; member Obs.Done 2 ~disc:1; idle |]
+  in
+  Spec.on_step t ~step:1 ~request_out:no_out ~before ~after;
+  check "Lemma 2 check fires" true (List.mem "synchronization" (rules t))
+
+let suite =
+  [ ( "spec-monitor",
+      [ Alcotest.test_case "clean lifecycle" `Quick test_clean_convene_terminate;
+        Alcotest.test_case "exclusion rule" `Quick test_exclusion_rule;
+        Alcotest.test_case "synchronization rule" `Quick test_synchronization_rule;
+        Alcotest.test_case "essential discussion rule" `Quick
+          test_essential_discussion_rule;
+        Alcotest.test_case "voluntary discussion rule" `Quick
+          test_voluntary_discussion_rule;
+        Alcotest.test_case "initial meetings exempt" `Quick
+          test_initial_meetings_exempt;
+        Alcotest.test_case "fault exemption" `Quick test_fault_exemption;
+        Alcotest.test_case "Lemma 2 shape at convene" `Quick test_lemma2_shape;
+      ] );
+  ]

@@ -1,0 +1,123 @@
+(* Workload drivers: discussion timers, stickiness, burstiness, scripts. *)
+
+module H = Snapcc_hypergraph.Hypergraph
+module Families = Snapcc_hypergraph.Families
+module Obs = Snapcc_runtime.Obs
+module Workload = Snapcc_workload.Workload
+
+let check = Alcotest.(check bool)
+
+let idle = Obs.make Obs.Idle
+let done_ e = Obs.make ~pointer:(Some e) Obs.Done
+let looking = Obs.make Obs.Looking
+
+let test_discussion_timer () =
+  let h = Families.fig2 () in
+  let w = Workload.always_requesting ~disc_len:(fun _ -> 3) h in
+  let obs = [| done_ 0; done_ 0; looking; looking; looking |] in
+  (* below the threshold: no request_out *)
+  Workload.observe w ~step:0 obs;
+  Workload.observe w ~step:1 obs;
+  let i = Workload.inputs w obs in
+  check "not yet out" false (i.Snapcc_runtime.Model.request_out 0);
+  (* third consecutive done step crosses disc_len *)
+  Workload.observe w ~step:2 obs;
+  let i = Workload.inputs w obs in
+  check "out after disc_len" true (i.Snapcc_runtime.Model.request_out 0);
+  check "request_in always true" true (i.Snapcc_runtime.Model.request_in 3);
+  (* leaving resets the timer and the grant *)
+  Workload.observe w ~step:3 [| looking; done_ 0; looking; looking; looking |];
+  let i = Workload.inputs w obs in
+  check "grant falls after leaving" false (i.Snapcc_runtime.Model.request_out 0)
+
+let test_heterogeneous_disc_len () =
+  let h = Families.fig2 () in
+  let w = Workload.always_requesting ~disc_len:(fun p -> if p = 0 then 1 else 5) h in
+  let obs = [| done_ 0; done_ 0; looking; looking; looking |] in
+  Workload.observe w ~step:0 obs;
+  let i = Workload.inputs w obs in
+  check "fast professor wants out" true (i.Snapcc_runtime.Model.request_out 0);
+  check "slow professor keeps discussing" false (i.Snapcc_runtime.Model.request_out 1)
+
+let test_bursty_deterministic () =
+  let h = Families.fig2 () in
+  let run () =
+    let w = Workload.bursty ~seed:9 ~p_request:0.5 h in
+    let requests = ref [] in
+    let obs = Array.make (H.n h) idle in
+    for step = 0 to 30 do
+      Workload.observe w ~step obs;
+      let i = Workload.inputs w obs in
+      requests :=
+        List.init (H.n h) (fun p -> i.Snapcc_runtime.Model.request_in p) :: !requests
+    done;
+    !requests
+  in
+  check "same seed, same request stream" true (run () = run ())
+
+let test_bursty_sticky () =
+  let h = Families.fig2 () in
+  let w = Workload.bursty ~seed:1 ~p_request:1.0 h in
+  let obs = Array.make (H.n h) idle in
+  Workload.observe w ~step:0 obs;
+  let i = Workload.inputs w obs in
+  check "idle professor requests" true (i.Snapcc_runtime.Model.request_in 0);
+  (* pending survives until the professor leaves idle *)
+  Workload.observe w ~step:1 obs;
+  let i = Workload.inputs w obs in
+  check "request sticks while idle" true (i.Snapcc_runtime.Model.request_in 0);
+  Workload.observe w ~step:2 [| looking; idle; idle; idle; idle |];
+  let i = Workload.inputs w obs in
+  check "request drops once looking" false (i.Snapcc_runtime.Model.request_in 0)
+
+let test_selective () =
+  let h = Families.fig2 () in
+  let w = Workload.selective ~requesters:[ 2; 3 ] h in
+  let i = Workload.inputs w (Array.make (H.n h) idle) in
+  check "requester requests" true (i.Snapcc_runtime.Model.request_in 2);
+  check "non-requester never" false (i.Snapcc_runtime.Model.request_in 0)
+
+let test_infinite_meetings () =
+  let h = Families.fig2 () in
+  let w = Workload.infinite_meetings h in
+  let obs = [| done_ 0; done_ 0; looking; looking; looking |] in
+  for step = 0 to 10 do
+    Workload.observe w ~step obs
+  done;
+  let i = Workload.inputs w obs in
+  check "never out" false (i.Snapcc_runtime.Model.request_out 0);
+  check "always in" true (i.Snapcc_runtime.Model.request_in 4)
+
+let test_scripted_steps () =
+  let w =
+    Workload.scripted ~name:"test"
+      ~request_in:(fun ~step p -> step >= 3 && p = 1)
+      ~request_out:(fun ~step _ -> step >= 5)
+      ()
+  in
+  let obs = [||] in
+  let i = Workload.inputs w obs in
+  check "step 0: no request" false (i.Snapcc_runtime.Model.request_in 1);
+  Workload.observe w ~step:0 obs;
+  Workload.observe w ~step:1 obs;
+  Workload.observe w ~step:2 obs;
+  let i = Workload.inputs w obs in
+  check "step 3: request" true (i.Snapcc_runtime.Model.request_in 1);
+  check "step 3: no out yet" false (i.Snapcc_runtime.Model.request_out 0);
+  Workload.observe w ~step:3 obs;
+  Workload.observe w ~step:4 obs;
+  let i = Workload.inputs w obs in
+  check "step 5: out" true (i.Snapcc_runtime.Model.request_out 0)
+
+let suite =
+  [ ( "workload",
+      [ Alcotest.test_case "discussion timer" `Quick test_discussion_timer;
+        Alcotest.test_case "heterogeneous discussion lengths" `Quick
+          test_heterogeneous_disc_len;
+        Alcotest.test_case "bursty determinism" `Quick test_bursty_deterministic;
+        Alcotest.test_case "bursty stickiness" `Quick test_bursty_sticky;
+        Alcotest.test_case "selective requesters" `Quick test_selective;
+        Alcotest.test_case "infinite meetings" `Quick test_infinite_meetings;
+        Alcotest.test_case "scripted steps" `Quick test_scripted_steps;
+      ] );
+  ]
