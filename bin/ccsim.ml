@@ -4,11 +4,13 @@
    ccsim run        simulate an algorithm on a topology, with monitors
    ccsim bounds     print the matching-theory bounds of a topology
    ccsim experiment run one of the paper's experiments by id
+   ccsim lint       static footprint/race/priority analysis of the algorithms
    ccsim list       available topologies, algorithms and experiments *)
 
 module H = Snapcc_hypergraph.Hypergraph
 module Families = Snapcc_hypergraph.Families
 module Matching = Snapcc_hypergraph.Matching
+module Model = Snapcc_runtime.Model
 module Daemon = Snapcc_runtime.Daemon
 module Obs = Snapcc_runtime.Obs
 module Trace = Snapcc_runtime.Trace
@@ -245,6 +247,87 @@ let experiment_id_arg =
 
 let experiment_term = Term.(const experiment_cmd $ experiment_id_arg $ quick_arg)
 
+(* ---- lint (static analysis, lib/statics) ---- *)
+
+module Lint_report = Snapcc_statics.Report
+
+(* Lintable algorithms with their allow lists.  The centralized baseline
+   deliberately violates locality (every professor reads the coordinator's
+   plan, the coordinator reads everyone, see lib/baselines/central.ml), so
+   its locality findings are waived rather than fatal. *)
+let lint_targets : (string * (module Model.ALGO) * Lint_report.rule list) list =
+  [ ("cc1", (module X.Cc1), []);
+    ("cc2", (module X.Cc2), []);
+    ("cc3", (module X.Cc3), []);
+    ("dining", (module X.Dining), []);
+    ("central", (module X.Central), [ Lint_report.Locality ]);
+  ]
+
+let lint_default_topos = "fig1,ring6,path5,star5,single4"
+
+let lint_cmd topos algos seeds max_configs verbose =
+  let names s = String.split_on_char ',' s |> List.filter (fun x -> x <> "") in
+  let targets =
+    match algos with
+    | "all" -> lint_targets
+    | s ->
+      List.map
+        (fun a ->
+          match List.find_opt (fun (name, _, _) -> name = a) lint_targets with
+          | Some t -> t
+          | None -> or_die (Error (Printf.sprintf "lint knows %s, not %S"
+                                     (String.concat "|" (List.map (fun (n, _, _) -> n) lint_targets))
+                                     a)))
+        (names s)
+  in
+  let topos = List.map (fun t -> (t, or_die (topology t))) (names topos) in
+  let reports =
+    List.concat_map
+      (fun (_, (module A : Model.ALGO), allow) ->
+        let module An = Snapcc_statics.Analyze.Make (A) in
+        List.map (fun (topo, h) -> An.analyze ~seeds ~max_configs ~allow ~topo h) topos)
+      targets
+  in
+  Format.printf "%a@." Table.pp (Lint_report.summary_table reports);
+  List.iter
+    (fun r ->
+      if (not (Lint_report.ok r)) || r.Lint_report.waived <> [] || verbose then
+        Format.printf "@.%a@." Table.pp (Lint_report.detail_table r))
+    reports;
+  let lines = List.concat_map Lint_report.to_lines reports in
+  if lines <> [] then begin
+    Format.printf "@.";
+    List.iter (fun l -> Format.printf "%s@." l) lines
+  end;
+  if not (List.for_all Lint_report.ok reports) then exit 1
+
+let lint_topos_arg =
+  Arg.(value & opt string lint_default_topos
+       & info [ "t"; "topologies" ] ~docv:"TOPOS"
+           ~doc:"Comma-separated topologies to analyze (same names as --topology).")
+
+let lint_algos_arg =
+  Arg.(value & opt string "all"
+       & info [ "a"; "algos" ] ~docv:"ALGOS"
+           ~doc:"Comma-separated algorithms (cc1|cc2|cc3|dining|central), or `all'.")
+
+let lint_seeds_arg =
+  Arg.(value & opt int 24 & info [ "seeds" ] ~docv:"N"
+         ~doc:"Random (post-fault) configurations seeded into the exploration.")
+
+let lint_max_configs_arg =
+  Arg.(value & opt int 240 & info [ "max-configs" ] ~docv:"N"
+         ~doc:"Cap on the exhaustive reachable-configuration enumeration.")
+
+let lint_verbose_arg =
+  Arg.(value & flag & info [ "verbose" ]
+         ~doc:"Print per-report detail tables even for clean passes.")
+
+let lint_term =
+  Term.(
+    const lint_cmd $ lint_topos_arg $ lint_algos_arg $ lint_seeds_arg
+    $ lint_max_configs_arg $ lint_verbose_arg)
+
 (* ---- list ---- *)
 
 let list_cmd () =
@@ -274,6 +357,11 @@ let cmds =
          ~doc:"Simulate over the message-passing emulation (Section 7 future work)")
       mp_term;
     Cmd.v (Cmd.info "experiment" ~doc:"Run one of the paper's experiments") experiment_term;
+    Cmd.v
+      (Cmd.info "lint"
+         ~doc:"Static footprint/race/priority analysis of the guarded-command \
+               algorithms (exits non-zero on violations)")
+      lint_term;
     Cmd.v (Cmd.info "list" ~doc:"List topologies, algorithms and experiments") list_term;
   ]
 

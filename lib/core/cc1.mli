@@ -1,0 +1,37 @@
+(** Algorithm 1 (paper §4): snap-stabilizing 2-phase committee coordination
+    with {e Maximal Concurrency}, composed with a token layer [T] by fair
+    composition ([CC1 ∘ TC]).
+
+    This interface is the public surface the static analyzer
+    ([lib/statics]), the experiments and the tests rely on: a
+    {!Snapcc_runtime.Model.ALGO} plus the committee-layer projection and
+    the [Correct] predicate of the closure lemmas. *)
+
+(** The committee-coordination variables of one process. *)
+type cc = {
+  s : Cc_common.status;  (** [Sp] *)
+  ptr : int option;  (** [Pp] (committee edge id, [None] = ⊥) *)
+  tf : bool;  (** [Tp], the mirrored token flag *)
+  disc : int;  (** essential discussions performed (observability) *)
+}
+
+module Make (T : Snapcc_token.Layer.S) (P : Cc_common.PARAMS) : sig
+  include Snapcc_runtime.Model.ALGO with type state = cc * T.state
+
+  val cc : state -> cc
+  (** Project the committee layer out of the composed state. *)
+
+  val correct :
+    Snapcc_hypergraph.Hypergraph.t -> read:(int -> state) -> int -> bool
+  (** The [Correct(p)] predicate, exposed for the closure tests (Lemma 3). *)
+end
+
+(** CC1 with the default edge choice. *)
+module Std (T : Snapcc_token.Layer.S) : sig
+  include Snapcc_runtime.Model.ALGO with type state = cc * T.state
+
+  val cc : state -> cc
+
+  val correct :
+    Snapcc_hypergraph.Hypergraph.t -> read:(int -> state) -> int -> bool
+end

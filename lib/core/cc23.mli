@@ -1,0 +1,104 @@
+(** Algorithm 2 (paper §5): snap-stabilizing 2-phase committee coordination
+    with {e Professor Fairness} ([CC2 ∘ TC]), and its §5.4 modification
+    [CC3 ∘ TC] satisfying {e Committee Fairness}, plus the related-work
+    and ablation variants sharing the same code skeleton.
+
+    This interface is the public surface the static analyzer
+    ([lib/statics]), the experiments and the tests rely on. *)
+
+(** The committee-coordination variables of one process. *)
+type cc = {
+  s : Cc_common.status;  (** [Sp] ∈ [{looking, waiting, done}] *)
+  ptr : int option;  (** [Pp] *)
+  tf : bool;  (** [Tp] *)
+  lk : bool;  (** [Lp] *)
+  cur : int;  (** CC3's round-robin cursor over [Ep] (unused by CC2) *)
+  disc : int;  (** essential discussions performed *)
+}
+
+(** The switches separating CC2, CC3 and the §6/§3.2 variants. *)
+module type VARIANT = sig
+  val committee_fair : bool
+  (** [false] = CC2 (MinEdges target), [true] = CC3 (sequential target). *)
+
+  val non_token_convening : bool
+  (** [true] in the paper's algorithms: committees without the token may
+      convene through [Step13]/[Step14].  [false] yields the circulating-
+      token baseline of Bagrodia [3] discussed in §6. *)
+
+  val release_when_useless : bool
+  (** [false] in the paper's CC2/CC3; [true] grafts CC1's release policy
+      onto the algorithm (the fairness-forfeiting ablation). *)
+end
+
+module Cc2_variant : VARIANT
+module Cc3_variant : VARIANT
+module Token_only_variant : VARIANT
+module Eager_release_variant : VARIANT
+
+module Make (T : Snapcc_token.Layer.S) (V : VARIANT) (P : Cc_common.PARAMS) : sig
+  include Snapcc_runtime.Model.ALGO with type state = cc * T.state
+
+  val cc : state -> cc
+  (** Project the committee layer out of the composed state. *)
+
+  val correct :
+    Snapcc_hypergraph.Hypergraph.t -> read:(int -> state) -> int -> bool
+  (** The [Correct(p)] predicate of the closure lemmas. *)
+
+  val locked :
+    Snapcc_hypergraph.Hypergraph.t -> read:(int -> state) -> int -> bool
+  (** The [Locked(p)] predicate (a token-pointing committee is visible). *)
+end
+
+(** CC2 with the default edge choice. *)
+module Cc2_std (T : Snapcc_token.Layer.S) : sig
+  include Snapcc_runtime.Model.ALGO with type state = cc * T.state
+
+  val cc : state -> cc
+
+  val correct :
+    Snapcc_hypergraph.Hypergraph.t -> read:(int -> state) -> int -> bool
+
+  val locked :
+    Snapcc_hypergraph.Hypergraph.t -> read:(int -> state) -> int -> bool
+end
+
+(** CC3 with the default edge choice. *)
+module Cc3_std (T : Snapcc_token.Layer.S) : sig
+  include Snapcc_runtime.Model.ALGO with type state = cc * T.state
+
+  val cc : state -> cc
+
+  val correct :
+    Snapcc_hypergraph.Hypergraph.t -> read:(int -> state) -> int -> bool
+
+  val locked :
+    Snapcc_hypergraph.Hypergraph.t -> read:(int -> state) -> int -> bool
+end
+
+(** The §6 circulating-token baseline (only token holders convene). *)
+module Token_only_std (T : Snapcc_token.Layer.S) : sig
+  include Snapcc_runtime.Model.ALGO with type state = cc * T.state
+
+  val cc : state -> cc
+
+  val correct :
+    Snapcc_hypergraph.Hypergraph.t -> read:(int -> state) -> int -> bool
+
+  val locked :
+    Snapcc_hypergraph.Hypergraph.t -> read:(int -> state) -> int -> bool
+end
+
+(** Ablation: CC2 with CC1's eager token release — fairness lost (§3.2). *)
+module Eager_release_std (T : Snapcc_token.Layer.S) : sig
+  include Snapcc_runtime.Model.ALGO with type state = cc * T.state
+
+  val cc : state -> cc
+
+  val correct :
+    Snapcc_hypergraph.Hypergraph.t -> read:(int -> state) -> int -> bool
+
+  val locked :
+    Snapcc_hypergraph.Hypergraph.t -> read:(int -> state) -> int -> bool
+end

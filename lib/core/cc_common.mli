@@ -1,0 +1,40 @@
+(** Vocabulary shared by the committee-coordination algorithms. *)
+
+type status = Idle | Looking | Waiting | Done
+
+val pp_status : Format.formatter -> status -> unit
+
+val to_obs_status : status -> Snapcc_runtime.Obs.status
+
+(** Edge-selection strategy used where the paper writes
+    "[Pp := ε such that ε ∈ ...]": the choice is a don't-care for
+    correctness, but pluggable for the ablation benches. *)
+module type PARAMS = sig
+  val choose_edge : Snapcc_hypergraph.Hypergraph.t -> int list -> int
+  (** Pick one committee among a non-empty candidate list (edge ids).
+      Raises [Invalid_argument] on an empty list.  Must be deterministic:
+      the static analyzer ([lib/statics]) flags nondeterministic
+      statements. *)
+end
+
+(** Deterministic default: smallest edge id. *)
+module Default_params : PARAMS
+
+(** Largest committee first: maximizes per-meeting participation. *)
+module Widest_params : PARAMS
+
+(** Static committee priorities (the §7 future-work direction "enforcing
+    priorities on convening committees"): among the candidates the paper
+    leaves as a don't-care, always pick a maximum-weight one. *)
+module Weighted_params (W : sig
+  val weight : int -> int
+  (** weight of a committee (edge id); larger = preferred *)
+end) : PARAMS
+
+val max_by_id : Snapcc_hypergraph.Hypergraph.t -> int list -> int option
+(** The professor with the maximum identifier in a vertex list (the paper
+    breaks symmetry with [max] over identifiers); [None] on the empty
+    list. *)
+
+val members_list : Snapcc_hypergraph.Hypergraph.t -> int -> int list
+(** Members of a committee, as a list. *)

@@ -5,7 +5,6 @@
     (see {!Snapcc_analysis.Spec}) and measured (see
     {!Snapcc_analysis.Metrics}). *)
 
-module H = Snapcc_hypergraph.Hypergraph
 module Model = Snapcc_runtime.Model
 module Obs = Snapcc_runtime.Obs
 module Daemon = Snapcc_runtime.Daemon

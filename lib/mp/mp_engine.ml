@@ -1,6 +1,5 @@
 module H = Snapcc_hypergraph.Hypergraph
 module Model = Snapcc_runtime.Model
-module Obs = Snapcc_runtime.Obs
 
 module Make (A : Model.ALGO) = struct
   type event =

@@ -17,10 +17,17 @@ module Make (A : Model.ALGO) : sig
     Snapcc_hypergraph.Hypergraph.t ->
     t
   (** [check_locality] (default [false]) makes every state read performed by
-      a guard or statement of process [p] assert that the target is [p] or a
-      neighbor of [p] — a dynamic check that the algorithm respects the
-      locally-shared-variable model.  [`Random] draws each process state
-      with [A.random_init] (arbitrary initial configuration of §2.5). *)
+      a guard or statement of process [p] assert (raising [Failure]) that
+      the target is [p] or a neighbor of [p] — a dynamic check that the
+      algorithm respects the locally-shared-variable model.  It only sees
+      the reads of the one execution being run; the static pass
+      ([Snapcc_statics.Analyze], surfaced as [ccsim lint]) evaluates every
+      action against enumerated and random configurations and checks the
+      same locality condition on the recorded read-sets, along with
+      write-ownership and determinism.  Use [check_locality] as a cheap
+      guard rail inside long simulations, and the static pass as the CI
+      gate.  [`Random] draws each process state with [A.random_init]
+      (arbitrary initial configuration of §2.5). *)
 
   val hypergraph : t -> Snapcc_hypergraph.Hypergraph.t
   val states : t -> A.state array

@@ -1,0 +1,55 @@
+(** Static analysis of a {!Snapcc_runtime.Model.ALGO} by footprint
+    extraction: every action's guard and statement is evaluated against
+    instrumented configurations — the reachable set of small topologies,
+    enumerated exhaustively up to a cap, plus seeded random (post-fault)
+    configurations — recording per-action read-sets and write effects.
+
+    On those footprints the analyzer checks the structural side conditions
+    the paper's lemmas assume of guarded-command algorithms (§2.2):
+
+    - {b locality}: reads ⊆ self ∪ neighbors (the locally-shared-variable
+      model; the dynamic counterpart is [Engine.create ~check_locality]);
+    - {b write-ownership}: a statement changes only the executing process's
+      state, and never mutates any pre-step state in place (the engine
+      relies on statements being functional to implement atomic steps);
+    - {b determinism}: same configuration ⇒ same guard value and same
+      resulting state (no hidden global or random state — intra-process
+      non-determinism must be resolved by the priority order alone);
+    - {b crash-freedom}: no evaluation raises.
+
+    It additionally collects two structural statistics that are expected of
+    a correct algorithm but matter to refinements and proofs:
+
+    - {b priority overlap}: configurations where ≥2 actions of one process
+      are simultaneously enabled — evidence that the code-order priority
+      rule is load-bearing;
+    - {b read/write interference}: concurrently enabled actions of
+      neighboring processes where one's evaluation reads the state the
+      other's execution changes — exactly the atomicity hazards a
+      message-passing refinement ([lib/mp]) must serialize.
+
+    The analysis is observational: it never modifies the algorithm, and it
+    can only report behaviours exhibited on the explored configurations
+    (soundness of a clean pass is relative to that coverage). *)
+
+module Make (A : Snapcc_runtime.Model.ALGO) : sig
+  val analyze :
+    ?seeds:int ->
+    ?max_configs:int ->
+    ?allow:Report.rule list ->
+    topo:string ->
+    Snapcc_hypergraph.Hypergraph.t ->
+    Report.t
+  (** [analyze ~topo h] explores configurations of [A] on [h] and runs the
+      checks on each, under each of four uniform input modes (no requests,
+      [RequestIn], [RequestOut], both).
+
+      [seeds] (default 24) is the number of extra [A.random_init]
+      configurations seeded into the exploration frontier; [max_configs]
+      (default 240) caps the exhaustive reachable-set enumeration (breadth
+      first, by single-process and synchronous steps, deduplicated on
+      printed state).  Findings for rules in [allow] (default none) are
+      reported as waived instead of as violations — used for documented
+      deviations such as the centralized baseline's deliberate non-local
+      reads. *)
+end

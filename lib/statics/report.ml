@@ -1,0 +1,76 @@
+module Table = Snapcc_experiments.Table
+
+type rule = Locality | Write_ownership | Determinism | Crash
+
+let rule_name = function
+  | Locality -> "locality"
+  | Write_ownership -> "write-ownership"
+  | Determinism -> "determinism"
+  | Crash -> "crash"
+
+type finding = {
+  rule : rule;
+  action : string;
+  proc : int;
+  count : int;
+  detail : string;
+}
+
+type overlap = { labels : string list; times : int; example_proc : int }
+type interference = { writer : string; reader : string; times : int }
+
+type t = {
+  algo : string;
+  topo : string;
+  configs : int;
+  evals : int;
+  findings : finding list;
+  waived : finding list;
+  overlaps : overlap list;
+  interference : interference list;
+}
+
+let ok t = t.findings = []
+
+let summary_table reports =
+  {
+    Table.id = "lint";
+    title = "static footprint/race/priority analysis";
+    header =
+      [ "algorithm"; "topology"; "configs"; "evals"; "violations"; "waived";
+        "overlaps"; "interference"; "verdict" ];
+    rows =
+      List.map
+        (fun t ->
+          [ t.algo; t.topo; Table.i t.configs; Table.i t.evals;
+            Table.i (List.length t.findings); Table.i (List.length t.waived);
+            Table.i (List.fold_left (fun a (o : overlap) -> a + o.times) 0 t.overlaps);
+            Table.i
+              (List.fold_left (fun a (x : interference) -> a + x.times) 0 t.interference);
+            (if ok t then "ok" else "FAIL") ])
+        reports;
+    notes =
+      [ "overlaps/interference count occurrences, not rule violations";
+        "waived = findings matching the analyzer's allow list (documented \
+         deviations)" ];
+  }
+
+let detail_table t =
+  let row tag f =
+    [ tag; rule_name f.rule; f.action; Table.i f.proc; Table.i f.count; f.detail ]
+  in
+  {
+    Table.id = "lint-detail";
+    title = Printf.sprintf "%s on %s: findings" t.algo t.topo;
+    header = [ "kind"; "rule"; "action"; "proc"; "count"; "detail" ];
+    rows =
+      List.map (row "violation") t.findings @ List.map (row "waived") t.waived;
+    notes = [];
+  }
+
+let to_lines t =
+  List.map
+    (fun f ->
+      Printf.sprintf "lint algo=%s topo=%s rule=%s action=%s proc=%d count=%d detail=%s"
+        t.algo t.topo (rule_name f.rule) f.action f.proc f.count f.detail)
+    t.findings

@@ -1,0 +1,70 @@
+(** Findings of the static analyzer ({!Analyze}) and their rendering.
+
+    A report separates hard {e violations} of the model's side conditions
+    (locality, write-ownership, determinism, crash-freedom) from the
+    {e structural statistics} that are expected — and informative — on a
+    correct algorithm: priority overlaps (how often the priority order
+    actually arbitrates) and read/write interference (which concurrently
+    enabled neighbor actions a message-passing refinement must
+    serialize). *)
+
+type rule =
+  | Locality  (** a guard or statement read a non-neighbor's state *)
+  | Write_ownership
+      (** a statement mutated a state it does not own (or its own pre-step
+          state in place, which breaks step atomicity) *)
+  | Determinism
+      (** two evaluations on the same configuration disagreed — hidden
+          global or random state *)
+  | Crash  (** a guard or statement raised an exception *)
+
+val rule_name : rule -> string
+(** ["locality"], ["write-ownership"], ["determinism"], ["crash"] — the
+    names used by machine-readable output and expected by the tests. *)
+
+type finding = {
+  rule : rule;
+  action : string;  (** action label, e.g. ["Step21"] *)
+  proc : int;  (** executing process *)
+  count : int;  (** (configuration, input-mode) pairs exhibiting it *)
+  detail : string;  (** human-readable description of the first exhibit *)
+}
+
+type overlap = {
+  labels : string list;
+      (** the ≥2 simultaneously enabled actions of one process, code order *)
+  times : int;  (** (configuration, input-mode, process) occurrences *)
+  example_proc : int;
+}
+
+type interference = {
+  writer : string;  (** action whose execution changes the writer's state *)
+  reader : string;
+      (** concurrently enabled neighbor action whose evaluation reads it *)
+  times : int;
+}
+
+type t = {
+  algo : string;
+  topo : string;
+  configs : int;  (** configurations analyzed *)
+  evals : int;  (** action evaluations performed *)
+  findings : finding list;  (** violations, sorted *)
+  waived : finding list;  (** findings matching the analyzer's allow list *)
+  overlaps : overlap list;  (** sorted by frequency, descending *)
+  interference : interference list;  (** sorted by frequency, descending *)
+}
+
+val ok : t -> bool
+(** No violations ([findings = []]; waived findings do not count). *)
+
+val summary_table : t list -> Snapcc_experiments.Table.t
+(** One row per analyzed (algorithm, topology) pair. *)
+
+val detail_table : t -> Snapcc_experiments.Table.t
+(** Per-finding rows (violations first, then waived findings). *)
+
+val to_lines : t -> string list
+(** Machine-readable violations, one per line:
+    [lint algo=<name> topo=<name> rule=<rule> action=<label> proc=<p>
+    count=<k> detail=<text>].  Waived findings are not included. *)
