@@ -4,7 +4,10 @@
    experiment, see DESIGN.md's per-experiment index and EXPERIMENTS.md for
    the recorded paper-vs-measured comparison).
 
-   Part 2 runs Bechamel micro-benchmarks — one Test.make per benchmark
+   Part 2 macro-benchmarks the exhaustive model checker (lib/mc) on the
+   3-professor conflict triangle: states/second and peak resident states.
+
+   Part 3 runs Bechamel micro-benchmarks — one Test.make per benchmark
    family — measuring the cost of a simulation step for each algorithm, the
    token substrate, and the exact matching computations behind the
    Theorem 4/5 bounds.
@@ -37,7 +40,40 @@ let run_experiments () =
       Format.printf "(%s: %.1fs)@.@." e.Registry.id (Unix.gettimeofday () -. t0))
     Registry.all
 
-(* ---------- Part 2: Bechamel micro-benchmarks ---------- *)
+(* ---------- Part 2: model-checker macro-benchmark ---------- *)
+
+(* Exhaustive exploration of cc1 ∘ vring from every initial configuration
+   of the 3-professor conflict triangle (884736 roots; --quick drops to the
+   single-committee pair): states/second of the hash-consed BFS and the
+   peak resident state count, the two numbers that bound which instances
+   `ccsim check` can verify. *)
+let run_mc_bench () =
+  let entry =
+    match Snapcc_mc.Systems.find "cc1" with
+    | Some e -> e
+    | None -> assert false
+  in
+  let module S = (val entry.Snapcc_mc.Systems.make "vring") in
+  let module Ex = Snapcc_mc.Explore.Make (S) in
+  let h, topo =
+    if quick then (Families.single 2, "single2")
+    else (Families.pair_ring 3, "triangle3")
+  in
+  Format.printf "=== model checker: exhaustive cc1 ∘ vring on %s ===@." topo;
+  let t0 = Unix.gettimeofday () in
+  let r = Ex.explore h in
+  let dt = Unix.gettimeofday () -. t0 in
+  let gc = Gc.quick_stat () in
+  Format.printf
+    "states %d  transitions %d  complete %b@.\
+     states/s %.0f  wall %.2fs  peak resident states %d  heap %.1f MB@.@."
+    (Ex.n_configs r) (Ex.n_transitions r) (Ex.complete r)
+    (float_of_int (Ex.n_configs r) /. dt)
+    dt (Ex.n_configs r)
+    (float_of_int (gc.Gc.heap_words * (Sys.word_size / 8))
+    /. (1024. *. 1024.))
+
+(* ---------- Part 3: Bechamel micro-benchmarks ---------- *)
 
 open Bechamel
 open Toolkit
@@ -139,4 +175,5 @@ let run_micro_benchmarks () =
 
 let () =
   run_experiments ();
+  run_mc_bench ();
   run_micro_benchmarks ()

@@ -265,7 +265,7 @@ let lint_targets : (string * (module Model.ALGO) * Lint_report.rule list) list =
 
 let lint_default_topos = "fig1,ring6,path5,star5,single4"
 
-let lint_cmd topos algos seeds max_configs verbose =
+let lint_cmd topos algos seed seeds max_configs verbose =
   let names s = String.split_on_char ',' s |> List.filter (fun x -> x <> "") in
   let targets =
     match algos with
@@ -285,7 +285,9 @@ let lint_cmd topos algos seeds max_configs verbose =
     List.concat_map
       (fun (_, (module A : Model.ALGO), allow) ->
         let module An = Snapcc_statics.Analyze.Make (A) in
-        List.map (fun (topo, h) -> An.analyze ~seeds ~max_configs ~allow ~topo h) topos)
+        List.map
+          (fun (topo, h) -> An.analyze ~seed ~seeds ~max_configs ~allow ~topo h)
+          topos)
       targets
   in
   Format.printf "%a@." Table.pp (Lint_report.summary_table reports);
@@ -325,8 +327,290 @@ let lint_verbose_arg =
 
 let lint_term =
   Term.(
-    const lint_cmd $ lint_topos_arg $ lint_algos_arg $ lint_seeds_arg
+    const lint_cmd $ lint_topos_arg $ lint_algos_arg $ seed_arg $ lint_seeds_arg
     $ lint_max_configs_arg $ lint_verbose_arg)
+
+(* ---- check (exhaustive model checker, lib/mc) ---- *)
+
+module Mc_systems = Snapcc_mc.Systems
+module Mc_explore = Snapcc_mc.Explore
+module Mc_fairness = Snapcc_mc.Fairness
+module Mc_report = Snapcc_mc.Report
+module Cex = Snapcc_mc.Counterexample
+
+(* [--family triangle -n 3] resolves "triangle3" (parametric families) and
+   falls back to the bare name (fig1, ...). *)
+let resolve_topo family n =
+  match topology (family ^ string_of_int n) with
+  | Ok h -> Ok (family ^ string_of_int n, h)
+  | Error _ -> (
+    match topology family with
+    | Ok h -> Ok (family, h)
+    | Error e -> Error e)
+
+let check_one ~(entry : Mc_systems.entry) ~token ~topo_name ~h ~max_states
+    ~keep_going ~sample ~seed ~cex_path ~progress =
+  let module S = (val entry.Mc_systems.make token) in
+  let module Ex = Snapcc_mc.Explore.Make (S) in
+  let module CexM = Snapcc_mc.Counterexample.Make (S) in
+  let t0 = Sys.time () in
+  let roots =
+    if sample = 0 then `Domain
+    else begin
+      let rng = Random.State.make [| seed |] in
+      let canonical = Array.init (H.n h) (S.init h) in
+      `States
+        (canonical
+        :: List.init sample (fun _ ->
+               Array.init (H.n h) (fun p -> S.random_init h rng p)))
+    end
+  in
+  let on_progress =
+    if progress then
+      Some
+        (fun ~configs ~transitions ->
+          Format.eprintf "  ... %d states, %d transitions@." configs transitions)
+    else None
+  in
+  let result =
+    Ex.explore ?on_progress ~max_configs:max_states ~roots
+      ~stop_on_first:(not keep_going) h
+  in
+  let seconds = Sys.time () -. t0 in
+  let violations = Ex.violations result in
+  let verdict =
+    if Ex.complete result then
+      Some
+        (Mc_fairness.analyze ~n:(H.n h) ~n_configs:(Ex.n_configs result)
+           ~succs:(Ex.succs_inout result)
+           ~convenes:(fun src dst ->
+             Ex.meets_mask result dst land lnot (Ex.meets_mask result src) <> 0)
+           ~enabled_mask:(Ex.enabled_inout result)
+           ~committee_waiting:(Ex.committee_waiting result)
+           ())
+    else None
+  in
+  let report =
+    { Mc_report.algo = entry.Mc_systems.key;
+      token;
+      topo = topo_name;
+      product = Ex.product_size result;
+      configs = Ex.n_configs result;
+      transitions = Ex.n_transitions result;
+      complete = Ex.complete result;
+      escapees = List.length (Ex.escapees result);
+      dead = Ex.dead_actions result;
+      safety_violations = List.length violations;
+      first_rule =
+        (match violations with [] -> None | v :: _ -> Some v.Mc_explore.rule);
+      progress_checked = verdict <> None;
+      sccs = (match verdict with Some v -> v.Mc_fairness.sccs | None -> 0);
+      largest_scc =
+        (match verdict with Some v -> v.Mc_fairness.largest_scc | None -> 0);
+      deadlocks =
+        (match verdict with
+        | Some v -> List.length v.Mc_fairness.deadlocks
+        | None -> 0);
+      livelocks =
+        (match verdict with
+        | Some v -> List.length v.Mc_fairness.livelocks
+        | None -> 0);
+      seconds }
+  in
+  Format.printf "%a@." Mc_report.pp report;
+  List.iteri
+    (fun i (p, s) ->
+      if i < 5 then
+        Format.printf "  escapee: process %d state %a@." p S.pp_state s)
+    (Ex.escapees result);
+  if report.Mc_report.dead <> [] then
+    Format.printf
+      "  note: action(s) never executed on any transition (suspect): %s@."
+      (String.concat ", " report.Mc_report.dead);
+  (* build, minimize, persist and replay-confirm one counterexample *)
+  let cex =
+    match violations with
+    | v :: _ ->
+      let root, steps = Ex.path_to result v.Mc_explore.source in
+      let steps =
+        steps
+        @
+        if v.Mc_explore.mode >= 0 then
+          [ (v.Mc_explore.mode, v.Mc_explore.selected) ]
+        else []
+      in
+      Some
+        (Cex.of_safety ~algo:entry.Mc_systems.key ~token ~topo:topo_name
+           ~rule:v.Mc_explore.rule ~detail:v.Mc_explore.detail ~init:root
+           ~steps)
+    | [] -> (
+      match verdict with
+      | Some { Mc_fairness.deadlocks = cid :: _; _ } ->
+        let root, steps = Ex.path_to result cid in
+        Some
+          (Cex.of_deadlock ~algo:entry.Mc_systems.key ~token ~topo:topo_name
+             ~detail:"terminal configuration with a fully waiting committee"
+             ~init:root ~steps)
+      | Some { Mc_fairness.livelocks = l :: _; _ } ->
+        let root, steps = Ex.path_to result l.Mc_fairness.witness in
+        Some
+          (Cex.of_livelock ~algo:entry.Mc_systems.key ~token ~topo:topo_name
+             ~detail:
+               (Printf.sprintf
+                  "weakly fair convene-free cycle (SCC of %d configurations)"
+                  l.Mc_fairness.scc_size)
+             ~init:root ~steps ~loop:l.Mc_fairness.cycle)
+      | _ -> None)
+  in
+  (match cex with
+  | None -> ()
+  | Some c ->
+    let c = CexM.minimize h c in
+    Cex.to_file cex_path c;
+    Format.printf "@.%a@.counterexample written to %s@." Cex.pp c cex_path;
+    (match CexM.replay h c with
+    | CexM.Reproduced msg -> Format.printf "replay confirms: %s@." msg
+    | CexM.Not_reproduced msg ->
+      Format.printf "WARNING: replay does not reproduce: %s@." msg
+    | CexM.Invalid msg ->
+      Format.printf "WARNING: counterexample not executable: %s@." msg));
+  report
+
+let check_cmd algos family n token max_states keep_going sample seed cex_path
+    progress =
+  let topo_name, h = or_die (resolve_topo family n) in
+  let keys =
+    match algos with
+    | "all" -> List.map (fun (e : Mc_systems.entry) -> e.Mc_systems.key) Mc_systems.all
+    | s -> String.split_on_char ',' s |> List.filter (fun x -> x <> "")
+  in
+  let reports =
+    List.map
+      (fun key ->
+        let entry =
+          match Mc_systems.find key with
+          | Some e -> e
+          | None ->
+            or_die
+              (Error
+                 (Printf.sprintf "unknown system %S (try %s)" key
+                    (String.concat "|"
+                       (List.map
+                          (fun (e : Mc_systems.entry) -> e.Mc_systems.key)
+                          Mc_systems.all))))
+        in
+        let res =
+          try
+            Ok
+              (check_one ~entry ~token ~topo_name ~h ~max_states ~keep_going
+                 ~sample ~seed ~cex_path ~progress)
+          with Invalid_argument msg | Failure msg -> Error msg
+        in
+        Format.printf "@.";
+        or_die res)
+      keys
+  in
+  if List.length reports > 1 then
+    Format.printf "%a@." Table.pp (Mc_report.summary_table reports);
+  if List.exists (fun r -> Mc_report.outcome r = Mc_report.Fail) reports then
+    exit 1
+
+let check_algo_arg =
+  let doc =
+    "System(s) to check: cc1|cc2|cc3|cc1-inverted|cc1-noready, a \
+     comma-separated list, or `all'."
+  in
+  Arg.(value & opt string "cc1" & info [ "a"; "algo" ] ~docv:"ALGO" ~doc)
+
+let family_arg =
+  let doc =
+    "Topology family (line|triangle|ring|star|path|clique|single, combined \
+     with -n), or a full topology name as for --topology."
+  in
+  Arg.(value & opt string "triangle" & info [ "family" ] ~docv:"FAM" ~doc)
+
+let nprocs_arg =
+  Arg.(value & opt int 3 & info [ "n" ] ~docv:"N" ~doc:"Number of professors.")
+
+let check_token_arg =
+  Arg.(value & opt string "vring"
+       & info [ "token" ] ~docv:"TC"
+           ~doc:"Token substrate: vring|tree|null.")
+
+let max_states_arg =
+  Arg.(value & opt int 2_000_000
+       & info [ "max-states" ] ~docv:"N"
+           ~doc:"Memory cap on stored configurations (exceeding it makes \
+                 the verdict INCOMPLETE).")
+
+let keep_going_arg =
+  Arg.(value & flag
+       & info [ "keep-going" ]
+           ~doc:"Explore the full space even after a safety violation \
+                 (default: stop at the first one).")
+
+let sample_arg =
+  Arg.(value & opt int 0
+       & info [ "sample" ] ~docv:"K"
+           ~doc:"Instead of all domain configurations, explore from the \
+                 canonical initial configuration plus K seeded random \
+                 (post-fault) ones — for instances whose domain product is \
+                 out of reach.  0 = exhaustive (default).")
+
+let cex_out_arg =
+  Arg.(value & opt string "ccsim-cex.txt"
+       & info [ "cex" ] ~docv:"FILE"
+           ~doc:"Where to write the minimized counterexample, if any.")
+
+let check_progress_arg =
+  Arg.(value & flag & info [ "progress" ]
+         ~doc:"Report exploration progress on stderr.")
+
+let check_term =
+  Term.(
+    const check_cmd $ check_algo_arg $ family_arg $ nprocs_arg $ check_token_arg
+    $ max_states_arg $ keep_going_arg $ sample_arg $ seed_arg $ cex_out_arg
+    $ check_progress_arg)
+
+(* ---- replay ---- *)
+
+let replay_cmd file =
+  let cex =
+    match Cex.of_file file with
+    | c -> c
+    | exception (Failure msg | Sys_error msg) -> or_die (Error msg)
+  in
+  let entry =
+    match Mc_systems.find cex.Cex.algo with
+    | Some e -> e
+    | None -> or_die (Error (Printf.sprintf "unknown system %S" cex.Cex.algo))
+  in
+  let h = or_die (topology cex.Cex.topo) in
+  let res =
+    try
+      let module S = (val entry.Mc_systems.make cex.Cex.token) in
+      let module CexM = Snapcc_mc.Counterexample.Make (S) in
+      Format.printf "%a@.@.replaying through engine + monitors:@." Cex.pp cex;
+      Ok
+        (match CexM.replay ~trace:Format.std_formatter h cex with
+        | CexM.Reproduced msg ->
+          Format.printf "@.reproduced: %s@." msg;
+          0
+        | CexM.Not_reproduced msg ->
+          Format.printf "@.NOT reproduced: %s@." msg;
+          1
+        | CexM.Invalid msg ->
+          Format.printf "@.invalid trace: %s@." msg;
+          2)
+    with Invalid_argument msg -> Error msg
+  in
+  exit (or_die res)
+
+let replay_file_arg =
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE"
+         ~doc:"Counterexample file written by `ccsim check'.")
+
+let replay_term = Term.(const replay_cmd $ replay_file_arg)
 
 (* ---- list ---- *)
 
@@ -335,9 +619,15 @@ let list_cmd () =
   List.iter
     (fun (name, h) -> Format.printf "  %-10s %a@." name H.pp h)
     (Families.all_named ());
-  Format.printf "  (plus ring<n>, path<n>, star<n>, clique<n>, single<k>)@.@.";
+  Format.printf "  (plus ring<n>, path<n>, star<n>, clique<n>, single<k>, line<n>)@.@.";
   Format.printf "algorithms: cc1 cc2 cc3 token-only dining central cc1-no-token@.@.";
-  Format.printf "experiments:@.";
+  Format.printf "check systems (ccsim check --algo, times --token vring|tree|null):@.";
+  List.iter
+    (fun (e : Mc_systems.entry) ->
+      Format.printf "  %-14s %s%s@." e.Mc_systems.key e.Mc_systems.title
+        (if e.Mc_systems.broken then "  [deliberately broken]" else ""))
+    Mc_systems.all;
+  Format.printf "@.experiments:@.";
   List.iter
     (fun (e : Registry.entry) -> Format.printf "  %-24s %s@." e.Registry.id e.Registry.title)
     Registry.all
@@ -362,6 +652,20 @@ let cmds =
          ~doc:"Static footprint/race/priority analysis of the guarded-command \
                algorithms (exits non-zero on violations)")
       lint_term;
+    Cmd.v
+      (Cmd.info "check"
+         ~doc:"Exhaustively model-check a system on a small topology: safety \
+               closure from every initial configuration, plus \
+               deadlock/livelock detection under weak fairness.  Exit codes: \
+               0 verified (or incomplete without violation), 1 violation \
+               found, 2 usage error.")
+      check_term;
+    Cmd.v
+      (Cmd.info "replay"
+         ~doc:"Re-execute a counterexample written by `ccsim check' through \
+               the simulation engine and runtime monitors.  Exit codes: 0 \
+               reproduced, 1 not reproduced, 2 invalid file.")
+      replay_term;
     Cmd.v (Cmd.info "list" ~doc:"List topologies, algorithms and experiments") list_term;
   ]
 

@@ -23,17 +23,49 @@ type cc = {
   disc : int;  (** essential discussions performed (observability) *)
 }
 
-module Make (T : Snapcc_token.Layer.S) (P : PARAMS) :
-sig
-  include Model.ALGO with type state = cc * T.state
+(** Deliberate defects, used to validate the model checker ([lib/mc]): a
+    verifier that never finds anything proves nothing.  [Intact] is the
+    paper's algorithm. *)
+module type BREAK = sig
+  val invert_priorities : bool
+  (** Reverse the action list, turning the paper's priority order (§2.2)
+      upside down: [Stab1]/[Stab2] drop from the highest priority to the
+      lowest, [Step1] climbs to the top. *)
+
+  val unchecked_ready : bool
+  (** Transcription typo in the [Ready] predicate: drop the
+      "[Sq ∈ {looking, waiting}]" conjunct and only require every member to
+      point at the committee — which lets a meeting convene around a
+      professor stuck in [done] from a corrupted initial configuration. *)
+end
+
+module Intact : BREAK = struct
+  let invert_priorities = false
+  let unchecked_ready = false
+end
+
+(** The result signature shared by every instantiation. *)
+module type S = sig
+  type token_state
+
+  include Model.ALGO with type state = cc * token_state
 
   val cc : state -> cc
   val correct : H.t -> read:(int -> state) -> int -> bool
   (** The [Correct(p)] predicate, exposed for the closure tests (Lemma 3). *)
-end = struct
+end
+
+module Make_gen (T : Snapcc_token.Layer.S) (P : PARAMS) (B : BREAK) :
+  S with type token_state = T.state = struct
+  type token_state = T.state
   type state = cc * T.state
 
-  let name = Printf.sprintf "CC1∘%s" T.name
+  let name =
+    Printf.sprintf "CC1%s%s∘%s"
+      (if B.invert_priorities then "[rev-prio]" else "")
+      (if B.unchecked_ready then "[unchecked-ready]" else "")
+      T.name
+
   let cc (c, _) = c
 
   let pp_state ppf ((c, t) : state) =
@@ -73,7 +105,8 @@ end = struct
         Array.for_all
           (fun q ->
             let cq = c read q in
-            cq.ptr = Some e && (cq.s = Looking || cq.s = Waiting))
+            cq.ptr = Some e
+            && (B.unchecked_ready || cq.s = Looking || cq.s = Waiting))
           (H.edge_members h e))
       (H.incident h p)
 
@@ -210,7 +243,8 @@ end = struct
      (Corollary 3). *)
   let actions h =
     let lift = Model.lift_action ~get:snd ~set:(fun (cc, _) tc -> (cc, tc)) in
-    cc_actions h @ List.map lift (T.internal_actions h) @ stab_actions h
+    let all = cc_actions h @ List.map lift (T.internal_actions h) @ stab_actions h in
+    if B.invert_priorities then List.rev all else all
 
   let init h =
     let tc_init = T.init h in
@@ -237,5 +271,27 @@ end = struct
       (to_obs_status cp.s)
 end
 
+module Make (T : Snapcc_token.Layer.S) (P : PARAMS) = Make_gen (T) (P) (Intact)
+
 (** CC1 with the default edge choice. *)
 module Std (T : Snapcc_token.Layer.S) = Make (T) (Default_params)
+
+(** Broken variant: priority order inverted ([Stab] lowest, [Step1]
+    highest).  The model checker's ground truth on whether CC1's safety
+    closure survives a priority shuffle. *)
+module Inverted_std (T : Snapcc_token.Layer.S) =
+  Make_gen (T) (Default_params)
+    (struct
+      let invert_priorities = true
+      let unchecked_ready = false
+    end)
+
+(** Broken variant: the [Ready] predicate ignores member statuses, letting
+    committees convene around professors stuck in [done] — a guaranteed
+    synchronization violation from suitably corrupted initial states. *)
+module Unchecked_ready_std (T : Snapcc_token.Layer.S) =
+  Make_gen (T) (Default_params)
+    (struct
+      let invert_priorities = false
+      let unchecked_ready = true
+    end)

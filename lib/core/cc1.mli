@@ -15,8 +15,12 @@ type cc = {
   disc : int;  (** essential discussions performed (observability) *)
 }
 
-module Make (T : Snapcc_token.Layer.S) (P : Cc_common.PARAMS) : sig
-  include Snapcc_runtime.Model.ALGO with type state = cc * T.state
+(** The result signature shared by every instantiation: an algorithm plus
+    the committee-layer projection and the [Correct] predicate. *)
+module type S = sig
+  type token_state
+
+  include Snapcc_runtime.Model.ALGO with type state = cc * token_state
 
   val cc : state -> cc
   (** Project the committee layer out of the composed state. *)
@@ -26,12 +30,26 @@ module Make (T : Snapcc_token.Layer.S) (P : Cc_common.PARAMS) : sig
   (** The [Correct(p)] predicate, exposed for the closure tests (Lemma 3). *)
 end
 
+module Make (T : Snapcc_token.Layer.S) (P : Cc_common.PARAMS) :
+  S with type token_state = T.state
+
 (** CC1 with the default edge choice. *)
-module Std (T : Snapcc_token.Layer.S) : sig
-  include Snapcc_runtime.Model.ALGO with type state = cc * T.state
+module Std (T : Snapcc_token.Layer.S) : S with type token_state = T.state
 
-  val cc : state -> cc
+(** {2 Deliberately broken variants}
 
-  val correct :
-    Snapcc_hypergraph.Hypergraph.t -> read:(int -> state) -> int -> bool
-end
+    Defect injections validating the model checker ([lib/mc], `ccsim
+    check`): a verifier that never finds anything proves nothing.  Neither
+    variant is registered with the experiments or the lint gate. *)
+
+(** Priority order inverted: the action list is reversed, so [Stab1]/[Stab2]
+    fall from the top priority to the bottom and [Step1] rises to the top —
+    the paper's §2.2 ordering turned upside down. *)
+module Inverted_std (T : Snapcc_token.Layer.S) : S with type token_state = T.state
+
+(** The [Ready] predicate drops its "[Sq ∈ {looking, waiting}]" conjunct (a
+    plausible transcription typo): committees may convene around a professor
+    stuck in [done] by a corrupted initial configuration — a synchronization
+    violation the checker must find and replay. *)
+module Unchecked_ready_std (T : Snapcc_token.Layer.S) :
+  S with type token_state = T.state

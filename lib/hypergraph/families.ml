@@ -120,7 +120,8 @@ let with_shuffled_ids ~seed h =
   Hypergraph.create ~ids ~n committees
 
 let all_named () =
-  [ ("fig1", fig1 ());
+  [ ("triangle", pair_ring 3);
+    ("fig1", fig1 ());
     ("fig2", fig2 ());
     ("fig3", fig3 ());
     ("fig4", fig4 ());
@@ -152,8 +153,11 @@ let by_name name =
       else None
     in
     let candidates =
-      [ parse "ring" pair_ring; parse "path" path; parse "star" star;
-        parse "clique" clique; parse "single" single ]
+      [ parse "triangle" (fun k ->
+            if k = 3 then pair_ring 3
+            else invalid_arg "Families.by_name: triangle has exactly 3 professors");
+        parse "ring" pair_ring; parse "path" path; parse "line" path;
+        parse "star" star; parse "clique" clique; parse "single" single ]
     in
     (match List.find_map Fun.id candidates with
      | Some h -> h

@@ -55,5 +55,7 @@ val all_named : unit -> (string * Hypergraph.t) list
     instances) used by test and experiment sweeps. *)
 
 val by_name : string -> Hypergraph.t
-(** Look up one of {!all_named} (plus [ring<n>]/[path<n>]/[star<n>] parsed
-    forms, e.g. ["ring12"]).  Raises [Invalid_argument] on unknown names. *)
+(** Look up one of {!all_named} (plus [ring<n>]/[path<n>]/[line<n>]/
+    [star<n>]/[clique<n>]/[single<n>] parsed forms, e.g. ["ring12"];
+    ["line<n>"] is an alias of ["path<n>"], and ["triangle"]/["triangle3"]
+    of ["ring3"]).  Raises [Invalid_argument] on unknown names. *)

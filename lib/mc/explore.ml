@@ -1,0 +1,324 @@
+module H = Snapcc_hypergraph.Hypergraph
+module Model = Snapcc_runtime.Model
+module Obs = Snapcc_runtime.Obs
+module Spec = Snapcc_analysis.Spec
+
+type violation = {
+  rule : string;
+  detail : string;
+  source : int;
+  mode : int;
+  selected : int list;
+}
+
+let mode_inputs =
+  [| Model.no_inputs;
+     Model.always_in;
+     { Model.request_in = (fun _ -> false); request_out = (fun _ -> true) };
+     { Model.request_in = (fun _ -> true); request_out = (fun _ -> true) } |]
+
+let mode_names = [| "quiet"; "in"; "out"; "in+out" |]
+let mode_name i = if i < 0 || i >= Array.length mode_names then "-" else mode_names.(i)
+let inout_mode = 3
+
+let bits_list mask =
+  let rec go p m acc =
+    if m = 0 then List.rev acc
+    else go (p + 1) (m lsr 1) (if m land 1 = 1 then p :: acc else acc)
+  in
+  go 0 mask []
+
+module Make (Sys : System.S) = struct
+  module Enc = Encode.Make (Sys)
+
+  type result = {
+    h : H.t;
+    enc : Enc.t;
+    configs : int Vec.t;  (** flat, [n] state ids per configuration *)
+    meets : int Vec.t;  (** per cid: bitmask of meeting committees *)
+    waitm : int Vec.t;  (** per cid: bitmask of all-members-waiting committees *)
+    enab_inout : int Vec.t;  (** per cid: enabled procs under in+out *)
+    par : int Vec.t;  (** per cid: parent cid, [-1] for roots *)
+    par_mode : int Vec.t;
+    par_sel : int Vec.t;
+    edges : int Vec.t;  (** in+out words: [(dst lsl n) lor selmask] *)
+    estart : int Vec.t;  (** per processed cid: offset into [edges] *)
+    counts : int array;
+    labels : string array;
+    mutable transitions : int;
+    mutable viols : violation list;
+    mutable complete_ : bool;
+  }
+
+  let complete r = r.complete_
+  let n_configs r = Vec.length r.meets
+  let n_transitions r = r.transitions
+  let violations r = List.rev r.viols
+  let escapees r = Enc.escapees r.enc
+  let product_size r = Enc.product_size r.enc
+  let hyper r = r.h
+
+  let action_counts r =
+    Array.to_list (Array.map2 (fun l c -> (l, c)) r.labels r.counts)
+
+  let dead_actions r =
+    List.filter_map (fun (l, c) -> if c = 0 then Some l else None) (action_counts r)
+
+  let config_ids r cid =
+    let n = Enc.n r.enc in
+    Array.init n (fun p -> Vec.get r.configs ((cid * n) + p))
+
+  let states_of_config r cid =
+    Array.mapi (fun p id -> Enc.state r.enc p id) (config_ids r cid)
+
+  let obs_of_config r cid =
+    let sts = states_of_config r cid in
+    Array.init (Array.length sts) (fun p -> Sys.observe r.h sts p)
+
+  let domain_index r p s = Enc.find r.enc p s
+  let domain_state r p id = Enc.state r.enc p id
+  let enabled_inout r cid = Vec.get r.enab_inout cid
+  let meets_mask r cid = Vec.get r.meets cid
+  let committee_waiting r cid = Vec.get r.waitm cid <> 0
+
+  let succs_inout r cid =
+    if cid >= Vec.length r.estart then []
+    else begin
+      let n = Enc.n r.enc in
+      let lo = Vec.get r.estart cid in
+      let hi =
+        if cid + 1 < Vec.length r.estart then Vec.get r.estart (cid + 1)
+        else Vec.length r.edges
+      in
+      List.init (hi - lo) (fun i ->
+          let w = Vec.get r.edges (lo + i) in
+          (w lsr n, w land ((1 lsl n) - 1)))
+    end
+
+  let path_to r cid =
+    let rec up cid acc =
+      let p = Vec.get r.par cid in
+      if p < 0 then (config_ids r cid, acc)
+      else
+        up p ((Vec.get r.par_mode cid, bits_list (Vec.get r.par_sel cid)) :: acc)
+    in
+    up cid []
+
+  let explore ?(max_configs = 1_500_000) ?(roots = `Domain)
+      ?(stop_on_first = false) ?on_progress h =
+    let n = H.n h and m = H.m h in
+    if n > 16 then failwith "Mc.Explore: more than 16 processes unsupported";
+    if m > 62 then failwith "Mc.Explore: more than 62 committees unsupported";
+    let enc = Enc.create h in
+    let actions = Array.of_list (Sys.actions h) in
+    let nact = Array.length actions in
+    let r =
+      { h; enc;
+        configs = Vec.create ();
+        meets = Vec.create ();
+        waitm = Vec.create ();
+        enab_inout = Vec.create ();
+        par = Vec.create ();
+        par_mode = Vec.create ();
+        par_sel = Vec.create ();
+        edges = Vec.create ();
+        estart = Vec.create ();
+        counts = Array.make nact 0;
+        labels = Array.map (fun (a : _ Model.action) -> a.Model.label) actions;
+        transitions = 0;
+        viols = [];
+        complete_ = false }
+    in
+    let conflicts =
+      List.concat
+        (List.init m (fun e1 ->
+             List.concat
+               (List.init e1 (fun e2 ->
+                    if H.conflicting h e1 e2 then [ (e1, e2) ] else []))))
+    in
+    let table = Enc.table enc in
+    let queue = Queue.create () in
+    let capped = ref false in
+    let stop = ref false in
+    let discover ~parent cfg =
+      if Enc.table_count table >= max_configs then begin
+        capped := true;
+        None
+      end
+      else
+        match Enc.find_or_add enc table cfg with
+        | `Existing cid -> Some cid
+        | `New cid ->
+          Array.iter (fun id -> Vec.push r.configs id) cfg;
+          let obs = obs_of_config r cid in
+          let mm = ref 0 and wm = ref 0 in
+          for e = 0 to m - 1 do
+            if Obs.meets h obs e then mm := !mm lor (1 lsl e);
+            if
+              Array.for_all
+                (fun q -> Obs.is_waiting obs.(q))
+                (H.edge_members h e)
+            then wm := !wm lor (1 lsl e)
+          done;
+          Vec.push r.meets !mm;
+          Vec.push r.waitm !wm;
+          Vec.push r.enab_inout 0;
+          let pc, pm, ps = parent in
+          Vec.push r.par pc;
+          Vec.push r.par_mode pm;
+          Vec.push r.par_sel ps;
+          List.iter
+            (fun (e1, e2) ->
+              if !mm land (1 lsl e1) <> 0 && !mm land (1 lsl e2) <> 0 then begin
+                r.viols <-
+                  { rule = "exclusion";
+                    detail =
+                      Printf.sprintf
+                        "conflicting committees e%d and e%d meet simultaneously"
+                        e2 e1;
+                    source = cid;
+                    mode = -1;
+                    selected = [] }
+                  :: r.viols;
+                if stop_on_first then stop := true
+              end)
+            conflicts;
+          Queue.add cid queue;
+          Some cid
+    in
+    (* lazily streamed roots *)
+    let root_cursor = Array.make n 0 in
+    let roots_exhausted = ref false in
+    let next_domain_root () =
+      if !roots_exhausted then None
+      else begin
+        let cfg = Array.copy root_cursor in
+        let rec adv p =
+          if p < 0 then roots_exhausted := true
+          else begin
+            root_cursor.(p) <- root_cursor.(p) + 1;
+            if root_cursor.(p) >= Enc.domain_count enc p then begin
+              root_cursor.(p) <- 0;
+              adv (p - 1)
+            end
+          end
+        in
+        adv (n - 1);
+        Some cfg
+      end
+    in
+    let pending_roots =
+      ref (match roots with `States l -> l | `Domain -> [])
+    in
+    let next_root () =
+      match roots with
+      | `Domain -> next_domain_root ()
+      | `States _ -> (
+        match !pending_roots with
+        | [] -> None
+        | sts :: rest ->
+          pending_roots := rest;
+          Some (Array.init n (fun p -> Enc.intern enc p sts.(p))))
+    in
+    let scratch = Array.make n 0 in
+    let succ_ids = Array.make n 0 in
+    let act_idx = Array.make n (-1) in
+    let processed = ref 0 in
+    let process cid =
+      assert (Vec.length r.estart = cid);
+      Vec.push r.estart (Vec.length r.edges);
+      let cfg = config_ids r cid in
+      let sts = states_of_config r cid in
+      let read p = sts.(p) in
+      let before_obs = lazy (obs_of_config r cid) in
+      let bm = Vec.get r.meets cid in
+      for mode = 0 to Array.length mode_inputs - 1 do
+        if not !stop then begin
+          let inputs = mode_inputs.(mode) in
+          let enabled = ref 0 in
+          for p = 0 to n - 1 do
+            let ctx = { Model.h; inputs; read; self = p } in
+            let rec scan i =
+              if i < 0 then -1
+              else if actions.(i).Model.guard ctx then i
+              else scan (i - 1)
+            in
+            let i = scan (nact - 1) in
+            act_idx.(p) <- i;
+            if i >= 0 then begin
+              enabled := !enabled lor (1 lsl p);
+              succ_ids.(p) <- Enc.intern enc p (actions.(i).Model.apply ctx)
+            end
+          done;
+          if mode = inout_mode then Vec.set r.enab_inout cid !enabled;
+          let full = !enabled in
+          if full <> 0 then begin
+            let sub = ref full in
+            let continue_ = ref true in
+            while !continue_ && (not !stop) && not !capped do
+              let s = !sub in
+              Array.blit cfg 0 scratch 0 n;
+              for p = 0 to n - 1 do
+                if s land (1 lsl p) <> 0 then scratch.(p) <- succ_ids.(p)
+              done;
+              (match discover ~parent:(cid, mode, s) scratch with
+              | None -> ()
+              | Some dst ->
+                r.transitions <- r.transitions + 1;
+                for p = 0 to n - 1 do
+                  if s land (1 lsl p) <> 0 then
+                    r.counts.(act_idx.(p)) <- r.counts.(act_idx.(p)) + 1
+                done;
+                if mode = inout_mode then
+                  Vec.push r.edges ((dst lsl n) lor s);
+                let am = Vec.get r.meets dst in
+                if am <> bm then begin
+                  (* a meeting convened or broke up: judge the transition
+                     with the runtime monitor, before as initial (§2.5) *)
+                  let before = Lazy.force before_obs in
+                  let after = obs_of_config r dst in
+                  let spec = Spec.create h ~initial:before in
+                  Spec.on_step spec ~step:0
+                    ~request_out:inputs.Model.request_out ~before ~after;
+                  List.iter
+                    (fun (v : Spec.violation) ->
+                      r.viols <-
+                        { rule = v.Spec.rule;
+                          detail = v.Spec.detail;
+                          source = cid;
+                          mode;
+                          selected = bits_list s }
+                        :: r.viols;
+                      if stop_on_first then stop := true)
+                    (Spec.violations spec)
+                end);
+              let nxt = (s - 1) land full in
+              if nxt = 0 then continue_ := false else sub := nxt
+            done
+          end
+        end
+      done;
+      incr processed;
+      if !processed land 0x3fff = 0 then
+        Option.iter
+          (fun f ->
+            f ~configs:(Enc.table_count table) ~transitions:r.transitions)
+          on_progress
+    in
+    let rec loop () =
+      if !stop || !capped then ()
+      else
+        match Queue.take_opt queue with
+        | Some cid ->
+          process cid;
+          loop ()
+        | None -> (
+          match next_root () with
+          | Some cfg ->
+            ignore (discover ~parent:(-1, -1, 0) cfg);
+            loop ()
+          | None -> r.complete_ <- true)
+    in
+    loop ();
+    r
+end

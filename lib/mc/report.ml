@@ -1,0 +1,89 @@
+module Table = Snapcc_experiments.Table
+
+type t = {
+  algo : string;
+  token : string;
+  topo : string;
+  product : float;
+  configs : int;
+  transitions : int;
+  complete : bool;
+  escapees : int;
+  dead : string list;
+  safety_violations : int;
+  first_rule : string option;
+  progress_checked : bool;
+  sccs : int;
+  largest_scc : int;
+  deadlocks : int;
+  livelocks : int;
+  seconds : float;
+}
+
+type outcome = Pass | Fail | Incomplete
+
+let outcome r =
+  if
+    r.safety_violations > 0 || r.escapees > 0 || r.deadlocks > 0
+    || r.livelocks > 0
+  then Fail
+  else if r.complete then Pass
+  else Incomplete
+
+let outcome_name = function
+  | Pass -> "PASS"
+  | Fail -> "FAIL"
+  | Incomplete -> "INCOMPLETE"
+
+let states_per_sec r =
+  if r.seconds > 0. then float_of_int r.configs /. r.seconds else 0.
+
+let summary_table reports =
+  { Table.id = "check-matrix";
+    title = "ccsim check: exhaustive verification matrix";
+    header =
+      [ "algo"; "token"; "topo"; "initial"; "states"; "transitions";
+        "escapees"; "safety"; "deadlock"; "livelock"; "states/s"; "verdict" ];
+    rows =
+      List.map
+        (fun r ->
+          [ r.algo; r.token; r.topo;
+            Printf.sprintf "%.0f" r.product;
+            Table.i r.configs; Table.i r.transitions; Table.i r.escapees;
+            (match r.first_rule with
+            | Some rule -> Printf.sprintf "%d (%s)" r.safety_violations rule
+            | None -> Table.i r.safety_violations);
+            (if r.progress_checked then Table.i r.deadlocks else "-");
+            (if r.progress_checked then Table.i r.livelocks else "-");
+            Printf.sprintf "%.0f" (states_per_sec r);
+            outcome_name (outcome r) ])
+        reports;
+    notes =
+      [ "initial = domain product (every configuration is a legal start, \
+         §2.5); states = explored (reachable closure of the domain)";
+        "safety via the runtime monitor per transition; progress = \
+         deadlock/livelock under weak fairness on the in+out graph" ] }
+
+let pp ppf r =
+  Format.fprintf ppf
+    "@[<v>%s ∘ %s on %s: %s@,\
+     initial configurations: %.0f, explored: %d states, %d transitions%s@,\
+     closure: %s@,safety: %s@,progress: %s@,throughput: %.0f states/s (%.2fs)@]"
+    r.algo r.token r.topo
+    (outcome_name (outcome r))
+    r.product r.configs r.transitions
+    (if r.complete then "" else " (capped: INCOMPLETE)")
+    (if r.escapees = 0 then "domain closed under all transitions"
+     else Printf.sprintf "%d escapee state(s) outside the declared domain"
+            r.escapees)
+    (match (r.safety_violations, r.first_rule) with
+    | 0, _ -> "no violation on any explored transition"
+    | k, Some rule -> Printf.sprintf "%d violation(s), first rule %s" k rule
+    | k, None -> Printf.sprintf "%d violation(s)" k)
+    (if not r.progress_checked then "skipped (incomplete exploration)"
+     else if r.deadlocks = 0 && r.livelocks = 0 then
+       Printf.sprintf "no deadlock, no livelock (%d SCCs, largest %d)" r.sccs
+         r.largest_scc
+     else
+       Printf.sprintf "%d deadlock(s), %d livelock(s)" r.deadlocks r.livelocks)
+    (states_per_sec r) r.seconds

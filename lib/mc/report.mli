@@ -1,0 +1,34 @@
+(** Rendering of model-checking runs: one record per (system, token,
+    topology) check, a column-aligned summary table (the [ccsim check]
+    matrix, also recorded in EXPERIMENTS.md) and a verdict. *)
+
+type t = {
+  algo : string;
+  token : string;
+  topo : string;
+  product : float;  (** initial configurations (domain product) *)
+  configs : int;  (** configurations explored *)
+  transitions : int;
+  complete : bool;
+  escapees : int;  (** closure failures of the declared domain *)
+  dead : string list;  (** actions never executed (suspect, non-fatal) *)
+  safety_violations : int;
+  first_rule : string option;
+  progress_checked : bool;
+  sccs : int;
+  largest_scc : int;
+  deadlocks : int;
+  livelocks : int;
+  seconds : float;  (** CPU seconds spent exploring *)
+}
+
+type outcome = Pass | Fail | Incomplete
+
+val outcome : t -> outcome
+(** [Fail] on any safety violation, escapee, deadlock or livelock;
+    [Incomplete] when the exploration was capped before a verdict. *)
+
+val outcome_name : outcome -> string
+val states_per_sec : t -> float
+val summary_table : t list -> Snapcc_experiments.Table.t
+val pp : Format.formatter -> t -> unit

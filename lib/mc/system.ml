@@ -1,0 +1,6 @@
+module type S = sig
+  include Snapcc_runtime.Model.ALGO
+
+  val domain : Snapcc_hypergraph.Hypergraph.t -> int -> state list
+  val canon : Snapcc_hypergraph.Hypergraph.t -> int -> state -> state
+end

@@ -1,0 +1,29 @@
+(** What the model checker needs on top of a {!Snapcc_runtime.Model.ALGO}:
+    a finite per-process state domain and a canonicalization map.
+
+    The algorithms carry two unbounded observability counters ([disc], and
+    CC3's round-robin cursor [cur] which is only ever read modulo the
+    process degree).  [canon] quotients them away so that the reachable
+    quotient is finite; soundness requires that no guard and no statement
+    distinguishes two states identified by [canon] — which the checker
+    cross-validates against {e escapees}: canonical successor states that
+    fall outside the declared [domain] product are interned, reported, and
+    explored anyway, so a wrong domain declaration surfaces as a closure
+    failure instead of silently shrinking the verified space. *)
+
+module type S = sig
+  include Snapcc_runtime.Model.ALGO
+
+  val domain : Snapcc_hypergraph.Hypergraph.t -> int -> state list
+  (** The (finite, canonical) state domain of one process.  Verification
+      starts from {e every} configuration in the product of these domains —
+      the arbitrary initial configurations of the snap-stabilization
+      definition (§2.5).  A layer may declare a documented sub-domain (see
+      {!Snapcc_token.Token_tree.domain}); the checker then proves closure
+      of the sub-domain rather than of the full post-fault space. *)
+
+  val canon : Snapcc_hypergraph.Hypergraph.t -> int -> state -> state
+  (** Quotient a state onto the finite domain ([p]'s counters reset /
+      normalized).  Must be the identity on guards and statements:
+      behaviourally equal states map to the same representative. *)
+end

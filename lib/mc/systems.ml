@@ -1,0 +1,147 @@
+module H = Snapcc_hypergraph.Hypergraph
+module Cc1 = Snapcc_core.Cc1
+module Cc23 = Snapcc_core.Cc23
+module Cc_common = Snapcc_core.Cc_common
+module Layer = Snapcc_token.Layer
+module Token_null = Snapcc_token.Token_null
+module Token_vring = Snapcc_token.Token_vring
+module Token_tree = Snapcc_token.Token_tree
+
+(* CC1's committee layer times the token domain; [disc] is observability
+   only (never read), so it is pinned to 0. *)
+module Cc1_sys (T : Layer.S) (M : Cc1.S with type token_state = T.state) :
+  System.S with type state = M.state = struct
+  include M
+
+  let domain h p =
+    let ptrs =
+      None :: List.map (fun e -> Some e) (Array.to_list (H.incident h p))
+    in
+    List.concat_map
+      (fun t ->
+        List.concat_map
+          (fun s ->
+            List.concat_map
+              (fun ptr ->
+                List.map
+                  (fun tf -> ({ Cc1.s; ptr; tf; disc = 0 }, t))
+                  [ false; true ])
+              ptrs)
+          [ Cc_common.Idle; Cc_common.Looking; Cc_common.Waiting;
+            Cc_common.Done ])
+      (T.domain h p)
+
+  let canon _h _p ((c : Cc1.cc), t) = ({ c with Cc1.disc = 0 }, t)
+end
+
+(* CC2/CC3's committee layer: statuses have no [Idle]; [cur] is read only
+   modulo the degree and only when [cursor] (CC3), [disc] never. *)
+module Cc23_sys
+    (T : Layer.S)
+    (M : sig
+      include Snapcc_runtime.Model.ALGO with type state = Cc23.cc * T.state
+    end)
+    (C : sig
+      val cursor : bool
+    end) : System.S with type state = M.state = struct
+  include M
+
+  let domain h p =
+    let deg = H.degree h p in
+    let ptrs =
+      None :: List.map (fun e -> Some e) (Array.to_list (H.incident h p))
+    in
+    let curs = if C.cursor then List.init deg Fun.id else [ 0 ] in
+    List.concat_map
+      (fun t ->
+        List.concat_map
+          (fun s ->
+            List.concat_map
+              (fun ptr ->
+                List.concat_map
+                  (fun tf ->
+                    List.concat_map
+                      (fun lk ->
+                        List.map
+                          (fun cur ->
+                            ({ Cc23.s; ptr; tf; lk; cur; disc = 0 }, t))
+                          curs)
+                      [ false; true ])
+                  [ false; true ])
+              ptrs)
+          [ Cc_common.Looking; Cc_common.Waiting; Cc_common.Done ])
+      (T.domain h p)
+
+  let canon h p ((c : Cc23.cc), t) =
+    let deg = H.degree h p in
+    let cur =
+      if C.cursor then ((c.Cc23.cur mod deg) + deg) mod deg else 0
+    in
+    ({ c with Cc23.cur; disc = 0 }, t)
+end
+
+type entry = {
+  key : string;
+  title : string;
+  broken : bool;
+  make : string -> (module System.S);
+}
+
+let token_keys = [ "vring"; "tree"; "null" ]
+
+let with_token (f : (module Layer.S) -> (module System.S)) token =
+  match token with
+  | "vring" -> f (module Token_vring)
+  | "tree" -> f (module Token_tree)
+  | "null" -> f (module Token_null)
+  | t ->
+    invalid_arg
+      (Printf.sprintf "unknown token layer %S (expected vring, tree or null)" t)
+
+let cc1_make variant =
+  with_token (fun tok ->
+      let module T = (val tok : Layer.S) in
+      match variant with
+      | `Intact -> (module Cc1_sys (T) (Cc1.Std (T)) : System.S)
+      | `Inverted -> (module Cc1_sys (T) (Cc1.Inverted_std (T)) : System.S)
+      | `Noready ->
+        (module Cc1_sys (T) (Cc1.Unchecked_ready_std (T)) : System.S))
+
+let cc23_make variant =
+  with_token (fun tok ->
+      let module T = (val tok : Layer.S) in
+      match variant with
+      | `Cc2 ->
+        (module Cc23_sys (T) (Cc23.Cc2_std (T))
+                  (struct
+                    let cursor = false
+                  end) : System.S)
+      | `Cc3 ->
+        (module Cc23_sys (T) (Cc23.Cc3_std (T))
+                  (struct
+                    let cursor = true
+                  end) : System.S))
+
+let all =
+  [ { key = "cc1";
+      title = "CC1 ∘ TC (Algorithm 1, maximal concurrency)";
+      broken = false;
+      make = cc1_make `Intact };
+    { key = "cc2";
+      title = "CC2 ∘ TC (Algorithm 2, professor fairness)";
+      broken = false;
+      make = cc23_make `Cc2 };
+    { key = "cc3";
+      title = "CC3 ∘ TC (§5.4 modification, committee fairness)";
+      broken = false;
+      make = cc23_make `Cc3 };
+    { key = "cc1-inverted";
+      title = "CC1 with the priority order inverted (validation defect)";
+      broken = true;
+      make = cc1_make `Inverted };
+    { key = "cc1-noready";
+      title = "CC1 with Ready ignoring member statuses (validation defect)";
+      broken = true;
+      make = cc1_make `Noready } ]
+
+let find key = List.find_opt (fun e -> e.key = key) all

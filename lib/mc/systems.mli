@@ -1,0 +1,23 @@
+(** Registry of model-checkable systems: the paper's algorithms (and the
+    deliberately broken validation variants) composed with a token layer
+    and equipped with the finite domain + canonicalization of {!System.S}.
+
+    The committee layers carry one unbounded counter each ([disc]; CC3 also
+    [cur], read only modulo the degree): [canon] resets / normalizes them,
+    which is invisible to every guard and statement, so the quotient is
+    exact.  Token domains come from {!Snapcc_token.Layer.S.domain}. *)
+
+type entry = {
+  key : string;  (** CLI name, e.g. ["cc1"], ["cc1-inverted"] *)
+  title : string;
+  broken : bool;  (** a deliberate defect: the checker must find it *)
+  make : string -> (module System.S);
+      (** instantiate with a token-layer key; raises [Invalid_argument] on
+          unknown tokens *)
+}
+
+val token_keys : string list
+(** ["vring"; "tree"; "null"]. *)
+
+val all : entry list
+val find : string -> entry option

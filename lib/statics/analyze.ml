@@ -33,11 +33,13 @@ module Make (A : Model.ALGO) = struct
     | exception _ -> None
     | r -> r
 
-  let analyze ?(seeds = 24) ?(max_configs = 240) ?(allow = []) ~topo h =
+  let analyze ?(seed = 0) ?(seeds = 24) ?(max_configs = 240) ?(allow = [])
+      ~topo h =
     let n = H.n h in
     let actions = Array.of_list (A.actions h) in
     let nact = Array.length actions in
     let evals = ref 0 in
+    let guard_true = Array.make nact 0 in
     let findings : (Report.rule * string * int, int * string) Hashtbl.t =
       Hashtbl.create 16
     in
@@ -81,6 +83,7 @@ module Make (A : Model.ALGO) = struct
                  "guard disagreed with itself on the same configuration");
           if not g1 then (false, None)
           else begin
+            guard_true.(i) <- guard_true.(i) + 1;
             let before = Array.map fp states in
             match a.Model.apply ctx with
             | exception exn ->
@@ -213,7 +216,7 @@ module Make (A : Model.ALGO) = struct
     in
     add (Array.init n (A.init h));
     for s = 1 to seeds do
-      let rng = Random.State.make [| s; n; 0x57a71c5 |] in
+      let rng = Random.State.make [| s; n; seed; 0x57a71c5 |] in
       add (Array.init n (A.random_init h rng))
     done;
     let analyzed = ref 0 in
@@ -268,6 +271,12 @@ module Make (A : Model.ALGO) = struct
       |> List.sort (fun (a : Report.interference) (b : Report.interference) ->
              compare (b.times, a.writer, a.reader) (a.times, b.writer, b.reader))
     in
+    let dead =
+      List.filter_map
+        (fun i ->
+          if guard_true.(i) = 0 then Some actions.(i).Model.label else None)
+        (List.init nact Fun.id)
+    in
     {
       Report.algo = A.name;
       topo;
@@ -277,5 +286,6 @@ module Make (A : Model.ALGO) = struct
       waived;
       overlaps;
       interference;
+      dead;
     }
 end

@@ -34,6 +34,7 @@
 
 module Make (A : Snapcc_runtime.Model.ALGO) : sig
   val analyze :
+    ?seed:int ->
     ?seeds:int ->
     ?max_configs:int ->
     ?allow:Report.rule list ->
@@ -44,6 +45,8 @@ module Make (A : Snapcc_runtime.Model.ALGO) : sig
       checks on each, under each of four uniform input modes (no requests,
       [RequestIn], [RequestOut], both).
 
+      [seed] (default 0) is mixed into the RNG producing the random
+      configurations, so independent lint runs can diversify coverage;
       [seeds] (default 24) is the number of extra [A.random_init]
       configurations seeded into the exploration frontier; [max_configs]
       (default 240) caps the exhaustive reachable-set enumeration (breadth
@@ -51,5 +54,8 @@ module Make (A : Snapcc_runtime.Model.ALGO) : sig
       printed state).  Findings for rules in [allow] (default none) are
       reported as waived instead of as violations — used for documented
       deviations such as the centralized baseline's deliberate non-local
-      reads. *)
+      reads.
+
+      Actions whose guard never held anywhere in the exploration are
+      reported in [Report.dead] (suspect level, never fatal). *)
 end

@@ -28,6 +28,7 @@ type t = {
   waived : finding list;
   overlaps : overlap list;
   interference : interference list;
+  dead : string list;
 }
 
 let ok t = t.findings = []
@@ -38,7 +39,7 @@ let summary_table reports =
     title = "static footprint/race/priority analysis";
     header =
       [ "algorithm"; "topology"; "configs"; "evals"; "violations"; "waived";
-        "overlaps"; "interference"; "verdict" ];
+        "overlaps"; "interference"; "dead"; "verdict" ];
     rows =
       List.map
         (fun t ->
@@ -47,12 +48,15 @@ let summary_table reports =
             Table.i (List.fold_left (fun a (o : overlap) -> a + o.times) 0 t.overlaps);
             Table.i
               (List.fold_left (fun a (x : interference) -> a + x.times) 0 t.interference);
+            Table.i (List.length t.dead);
             (if ok t then "ok" else "FAIL") ])
         reports;
     notes =
       [ "overlaps/interference count occurrences, not rule violations";
         "waived = findings matching the analyzer's allow list (documented \
-         deviations)" ];
+         deviations)";
+        "dead = actions whose guard never held on any explored \
+         configuration (suspect, not fatal: coverage-relative)" ];
   }
 
 let detail_table t =
@@ -74,3 +78,8 @@ let to_lines t =
       Printf.sprintf "lint algo=%s topo=%s rule=%s action=%s proc=%d count=%d detail=%s"
         t.algo t.topo (rule_name f.rule) f.action f.proc f.count f.detail)
     t.findings
+  @ List.map
+      (fun a ->
+        Printf.sprintf "lint algo=%s topo=%s suspect=dead-action action=%s" t.algo
+          t.topo a)
+      t.dead

@@ -53,6 +53,14 @@ type t = {
   waived : finding list;  (** findings matching the analyzer's allow list *)
   overlaps : overlap list;  (** sorted by frequency, descending *)
   interference : interference list;  (** sorted by frequency, descending *)
+  dead : string list;
+      (** actions whose guard never held on any explored (configuration,
+          input-mode, process) triple — unsatisfiable-guard suspects, in
+          code order.  Suspect-level, not a violation: the exploration is
+          coverage-relative, and some actions are legitimately dead on
+          specific instances (e.g. CC2/CC3's [Token2] fast-forward, which
+          only fires from corrupted token positions on topologies where the
+          cap leaves them unreached). *)
 }
 
 val ok : t -> bool
@@ -67,4 +75,6 @@ val detail_table : t -> Snapcc_experiments.Table.t
 val to_lines : t -> string list
 (** Machine-readable violations, one per line:
     [lint algo=<name> topo=<name> rule=<rule> action=<label> proc=<p>
-    count=<k> detail=<text>].  Waived findings are not included. *)
+    count=<k> detail=<text>], followed by one
+    [lint algo=<name> topo=<name> suspect=dead-action action=<label>] line
+    per dead action.  Waived findings are not included. *)

@@ -41,6 +41,13 @@ module type S = sig
       priority).  Compositions append them {e after} the CC actions, giving
       them priority; they are all self-disabling, so the CC layer is never
       starved (fair composition, §2.2). *)
+
+  val domain : Snapcc_hypergraph.Hypergraph.t -> int -> state list
+  (** A finite per-process state domain for exhaustive model checking
+      ([lib/mc]): the states snap-stabilization quantifies over.  Layers
+      with a huge internal state space (the tree substrate) may return a
+      documented sub-domain; the checker verifies closure under transitions
+      and interns — and reports — any state outside the declared domain. *)
 end
 
 (** A standalone [Model.ALGO] wrapper so a token layer can be run and tested

@@ -16,3 +16,4 @@ let random_init _ _ _ = ()
 let has_token _ ~read:_ _ = false
 let release _ ~read:_ _ = ()
 let internal_actions _ : state Model.action list = []
+let domain _ _ = [ () ]

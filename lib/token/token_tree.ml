@@ -146,3 +146,12 @@ let random_init h rng p =
   let le = Leader.random_init h rng p in
   (* range [-2 .. k+2] exercises the clamp action too *)
   { le; pos = Random.State.int rng (Array.length le.Leader.childs + 5) - 2 }
+
+(* Model-checking sub-domain: the legitimate spanning tree with every wave
+   position.  The full leader domain (arbitrary lead/dist/par/childs) is
+   astronomically larger and collapses to this one within O(n) rounds of
+   self-disabling internal actions; the checker verifies that the declared
+   sub-domain is closed under transitions and reports any escapee. *)
+let domain h p =
+  let le = Leader.init h p in
+  List.init (Array.length le.Leader.childs + 3) (fun i -> { le; pos = i - 1 })

@@ -37,3 +37,6 @@ let release h ~read p =
   else { v = value h read (pred h p) }
 
 let internal_actions _h : state Model.action list = []
+
+(* The full domain: one Dijkstra counter in [0 .. K-1]. *)
+let domain h _p = List.init (k_of h) (fun v -> { v })

@@ -1,0 +1,206 @@
+(* Exhaustive model checker (lib/mc): clean algorithms verify on small
+   instances, deliberately broken variants yield minimized counterexamples
+   that replay through the engine + monitors, and the weak-fairness
+   progress analysis recognizes hand-built deadlocks and livelocks. *)
+
+open Snapcc_mc
+module H = Snapcc_hypergraph.Hypergraph
+module Families = Snapcc_hypergraph.Families
+
+let check = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+let single2 = Families.single 2
+let triangle = Families.pair_ring 3
+
+let system key =
+  match Systems.find key with
+  | Some e -> e
+  | None -> Alcotest.failf "unknown system %s" key
+
+(* ---- clean systems: full domain verified ---- *)
+
+let exhaust key token h =
+  let entry = system key in
+  let module S = (val entry.Systems.make token) in
+  let module Ex = Explore.Make (S) in
+  let r = Ex.explore h in
+  check (key ^ " exploration complete") true (Ex.complete r);
+  check (key ^ " explored the whole domain")
+    true
+    (float_of_int (Ex.n_configs r) >= Ex.product_size r);
+  check (key ^ " domain closed under transitions") true (Ex.escapees r = []);
+  check (key ^ " no safety violation") true (Ex.violations r = []);
+  let verdict =
+    Fairness.analyze ~n:(H.n h) ~n_configs:(Ex.n_configs r)
+      ~succs:(Ex.succs_inout r)
+      ~convenes:(fun src dst ->
+        Ex.meets_mask r dst land lnot (Ex.meets_mask r src) <> 0)
+      ~enabled_mask:(Ex.enabled_inout r)
+      ~committee_waiting:(Ex.committee_waiting r)
+      ()
+  in
+  check (key ^ " no deadlock") true (verdict.Fairness.deadlocks = []);
+  check (key ^ " no livelock") true (verdict.Fairness.livelocks = [])
+
+let test_clean_cc1 () = exhaust "cc1" "vring" single2
+let test_clean_cc2 () = exhaust "cc2" "vring" single2
+let test_clean_cc3 () = exhaust "cc3" "vring" single2
+
+(* cc1 over the null token on the conflict triangle: a larger instance
+   (13824 initial configurations) exercising inter-committee conflicts. *)
+let test_clean_cc1_null_triangle () = exhaust "cc1" "null" triangle
+
+(* ---- broken variant: counterexample found, minimized, replayed ---- *)
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec at i = i + nn <= nh && (String.sub hay i nn = needle || at (i + 1)) in
+  at 0
+
+let test_broken_found_and_replays () =
+  let entry = system "cc1-noready" in
+  let module S = (val entry.Systems.make "vring") in
+  let module Ex = Explore.Make (S) in
+  let module CexM = Counterexample.Make (S) in
+  let h = single2 in
+  let r = Ex.explore ~stop_on_first:true h in
+  let v =
+    match Ex.violations r with
+    | v :: _ -> v
+    | [] -> Alcotest.fail "cc1-noready: no violation found on single2"
+  in
+  Alcotest.(check string)
+    "violated rule is synchronization" "synchronization" v.Explore.rule;
+  let root, steps = Ex.path_to r v.Explore.source in
+  let steps =
+    steps
+    @
+    if v.Explore.mode >= 0 then [ (v.Explore.mode, v.Explore.selected) ]
+    else []
+  in
+  let cex =
+    Counterexample.of_safety ~algo:"cc1-noready" ~token:"vring" ~topo:"single2"
+      ~rule:v.Explore.rule ~detail:v.Explore.detail ~init:root ~steps
+  in
+  (* the raw counterexample replays to the same Spec rule *)
+  (match CexM.replay h cex with
+  | CexM.Reproduced msg ->
+    check "replay names the rule" true (contains msg "synchronization")
+  | CexM.Not_reproduced msg | CexM.Invalid msg ->
+    Alcotest.failf "raw counterexample did not replay: %s" msg);
+  (* minimization keeps it reproducing and is idempotent *)
+  let m1 = CexM.minimize h cex in
+  check "minimized still reproduces" true
+    (match CexM.replay h m1 with CexM.Reproduced _ -> true | _ -> false);
+  check "minimization shrinks or preserves" true
+    (List.length m1.Counterexample.steps <= List.length cex.Counterexample.steps);
+  let m2 = CexM.minimize h m1 in
+  check "minimization idempotent" true (m1 = m2)
+
+let test_cex_file_roundtrip () =
+  let entry = system "cc1-noready" in
+  let module S = (val entry.Systems.make "vring") in
+  let module Ex = Explore.Make (S) in
+  let h = single2 in
+  let r = Ex.explore ~stop_on_first:true h in
+  let v = List.hd (Ex.violations r) in
+  let root, steps = Ex.path_to r v.Explore.source in
+  let steps =
+    steps
+    @
+    if v.Explore.mode >= 0 then [ (v.Explore.mode, v.Explore.selected) ]
+    else []
+  in
+  let cex =
+    Counterexample.of_safety ~algo:"cc1-noready" ~token:"vring" ~topo:"single2"
+      ~rule:v.Explore.rule ~detail:v.Explore.detail ~init:root ~steps
+  in
+  let file = Filename.temp_file "ccsim-cex" ".txt" in
+  Counterexample.to_file file cex;
+  let back = Counterexample.of_file file in
+  Sys.remove file;
+  check "counterexample file round-trips" true (cex = back)
+
+(* ---- encoding: intern/find round-trip over the whole domain ---- *)
+
+let test_encode_roundtrip () =
+  let entry = system "cc1" in
+  let module S = (val entry.Systems.make "vring") in
+  let module Enc = Encode.Make (S) in
+  let h = single2 in
+  let enc = Enc.create h in
+  check "no escapee after pre-interning" true (Enc.escapees enc = []);
+  for p = 0 to H.n h - 1 do
+    List.iter
+      (fun s ->
+        let id = Enc.intern enc p s in
+        check "intern/state round-trip" true
+          (S.equal_state (S.canon h p s) (Enc.state enc p id)))
+      (S.domain h p)
+  done;
+  check "product counts the domain" true (Enc.product_size enc >= 2304.)
+
+(* ---- fairness analysis on hand-built graphs ---- *)
+
+let test_fairness_deadlock () =
+  (* two configurations, no transitions; config 1 has a waiting committee *)
+  let verdict =
+    Fairness.analyze ~n:2 ~n_configs:2
+      ~succs:(fun _ -> [])
+      ~convenes:(fun _ _ -> false)
+      ~enabled_mask:(fun _ -> 0)
+      ~committee_waiting:(fun v -> v = 1)
+      ()
+  in
+  checki "one deadlock" 1 (List.length verdict.Fairness.deadlocks);
+  check "deadlock is config 1" true (verdict.Fairness.deadlocks = [ 1 ]);
+  check "not ok" false (Fairness.ok verdict)
+
+let test_fairness_livelock () =
+  (* a 2-cycle where only process 0 ever executes, process 1 is never
+     enabled, no convene, and a committee waits forever: a weakly fair
+     livelock *)
+  let verdict =
+    Fairness.analyze ~n:2 ~n_configs:2
+      ~succs:(fun v -> [ (1 - v, 0b01) ])
+      ~convenes:(fun _ _ -> false)
+      ~enabled_mask:(fun _ -> 0b01)
+      ~committee_waiting:(fun _ -> true)
+      ()
+  in
+  checki "one livelock" 1 (List.length verdict.Fairness.livelocks);
+  let l = List.hd verdict.Fairness.livelocks in
+  checki "SCC of two configurations" 2 l.Fairness.scc_size;
+  check "cycle is non-empty" true (l.Fairness.cycle <> [])
+
+let test_fairness_convene_breaks_livelock () =
+  (* same 2-cycle, but one edge convenes a committee: progress is made *)
+  let verdict =
+    Fairness.analyze ~n:2 ~n_configs:2
+      ~succs:(fun v -> [ (1 - v, 0b01) ])
+      ~convenes:(fun src _ -> src = 0)
+      ~enabled_mask:(fun _ -> 0b01)
+      ~committee_waiting:(fun _ -> true)
+      ()
+  in
+  check "convening cycle is not a livelock" true
+    (verdict.Fairness.livelocks = []);
+  check "ok" true (Fairness.ok verdict)
+
+let suite =
+  [ ( "mc",
+      [ Alcotest.test_case "clean: cc1 on single2" `Quick test_clean_cc1;
+        Alcotest.test_case "clean: cc2 on single2" `Quick test_clean_cc2;
+        Alcotest.test_case "clean: cc3 on single2" `Quick test_clean_cc3;
+        Alcotest.test_case "clean: cc1 (null token) on triangle" `Quick
+          test_clean_cc1_null_triangle;
+        Alcotest.test_case "broken: found, replayed, minimized" `Quick
+          test_broken_found_and_replays;
+        Alcotest.test_case "counterexample file round-trip" `Quick
+          test_cex_file_roundtrip;
+        Alcotest.test_case "encode round-trip" `Quick test_encode_roundtrip;
+        Alcotest.test_case "fairness: deadlock" `Quick test_fairness_deadlock;
+        Alcotest.test_case "fairness: livelock" `Quick test_fairness_livelock;
+        Alcotest.test_case "fairness: convene breaks livelock" `Quick
+          test_fairness_convene_breaks_livelock ] ) ]
