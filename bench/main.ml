@@ -27,17 +27,23 @@ module Table = Snapcc_experiments.Table
 
 let quick = Array.exists (fun a -> a = "--quick") Sys.argv
 
+(* Machine-readable results, written to BENCH_<quick|full>.json at the end
+   (the CI artifact; `ccsim stats --validate-json` gates its shape). *)
+module Json = Snapcc_telemetry.Json
+
 (* ---------- Part 1: the paper's tables and figures ---------- *)
 
 let run_experiments () =
   Format.printf "=== snap-stabilizing committee coordination: experiment tables (%s mode) ===@.@."
     (if quick then "quick" else "full");
-  List.iter
+  List.map
     (fun (e : Registry.entry) ->
       let t0 = Unix.gettimeofday () in
       let table = e.Registry.run ~quick in
+      let dt = Unix.gettimeofday () -. t0 in
       Format.printf "%a@," Table.pp table;
-      Format.printf "(%s: %.1fs)@.@." e.Registry.id (Unix.gettimeofday () -. t0))
+      Format.printf "(%s: %.1fs)@.@." e.Registry.id dt;
+      Json.Obj [ ("id", Json.String e.Registry.id); ("seconds", Json.Float dt) ])
     Registry.all
 
 (* ---------- Part 2: model-checker macro-benchmark ---------- *)
@@ -64,14 +70,25 @@ let run_mc_bench () =
   let r = Ex.explore h in
   let dt = Unix.gettimeofday () -. t0 in
   let gc = Gc.quick_stat () in
+  let states_per_s = float_of_int (Ex.n_configs r) /. dt in
+  let heap_mb =
+    float_of_int (gc.Gc.heap_words * (Sys.word_size / 8)) /. (1024. *. 1024.)
+  in
   Format.printf
     "states %d  transitions %d  complete %b@.\
      states/s %.0f  wall %.2fs  peak resident states %d  heap %.1f MB@.@."
     (Ex.n_configs r) (Ex.n_transitions r) (Ex.complete r)
-    (float_of_int (Ex.n_configs r) /. dt)
-    dt (Ex.n_configs r)
-    (float_of_int (gc.Gc.heap_words * (Sys.word_size / 8))
-    /. (1024. *. 1024.))
+    states_per_s dt (Ex.n_configs r) heap_mb;
+  Json.Obj
+    [ ("algo", Json.String "cc1"); ("token", Json.String "vring");
+      ("topo", Json.String topo);
+      ("states", Json.Int (Ex.n_configs r));
+      ("transitions", Json.Int (Ex.n_transitions r));
+      ("complete", Json.Bool (Ex.complete r));
+      ("states_per_s", Json.Float states_per_s);
+      ("wall_s", Json.Float dt);
+      ("peak_resident_states", Json.Int (Ex.n_configs r));
+      ("heap_mb", Json.Float heap_mb) ]
 
 (* ---------- Part 3: Bechamel micro-benchmarks ---------- *)
 
@@ -171,9 +188,26 @@ let run_micro_benchmarks () =
   in
   Format.printf "%-28s %14s@." "benchmark" "ns/call";
   List.iter (fun (name, ns) -> Format.printf "%-28s %14.1f@." name ns) rows;
-  Format.printf "@."
+  Format.printf "@.";
+  List.map
+    (fun (name, ns) ->
+      Json.Obj [ ("name", Json.String name); ("ns_per_call", Json.Float ns) ])
+    rows
 
 let () =
-  run_experiments ();
-  run_mc_bench ();
-  run_micro_benchmarks ()
+  let experiments = run_experiments () in
+  let mc = run_mc_bench () in
+  let micro = run_micro_benchmarks () in
+  let label = if quick then "quick" else "full" in
+  let file = Printf.sprintf "BENCH_%s.json" label in
+  let oc = open_out file in
+  output_string oc
+    (Json.to_string
+       (Json.Obj
+          [ ("mode", Json.String label);
+            ("experiments", Json.List experiments);
+            ("mc", mc);
+            ("micro", Json.List micro) ]));
+  output_char oc '\n';
+  close_out oc;
+  Format.printf "machine-readable results written to %s@." file

@@ -102,10 +102,10 @@ let runner = function
     Ok
       { X.label = "CC1/no-token";
         run =
-          (fun ?seed ?init ?faults ?stop_when ?record_trace ~daemon ~workload
-               ~steps h ->
+          (fun ?seed ?init ?faults ?stop_when ?record_trace ?telemetry ~daemon
+               ~workload ~steps h ->
             X.Run_cc1_no_token.run ?seed ?init ?faults ?stop_when ?record_trace
-              ~daemon ~workload ~steps h) }
+              ?telemetry ~daemon ~workload ~steps h) }
   | name ->
     (match List.find_opt (fun r -> r.X.label = name) (X.baseline_algorithms ()) with
      | Some r -> Ok r
@@ -117,10 +117,96 @@ let or_die = function
     Format.eprintf "ccsim: %s@." msg;
     exit 2
 
+(* ---- telemetry plumbing ---- *)
+
+module Tele = Snapcc_telemetry
+
+let write_json file json =
+  let oc = open_out file in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (Tele.Json.to_string json);
+      output_char oc '\n')
+
+let read_lines file =
+  let ic = open_in file in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let rec go acc =
+        match input_line ic with
+        | line -> go (line :: acc)
+        | exception End_of_file -> List.rev acc
+      in
+      go [])
+
+(* A hub fanning out to the requested file sinks.  Returns the hub (None
+   when nothing was requested), the ring sink backing [--emit-json] (the
+   summary is aggregated from it post-run), and a finalizer that closes
+   the sinks (writing the catapult trailer) and the files. *)
+let make_hub ?(ring_capacity = 0) ~emit_trace ~emit_catapult () =
+  if emit_trace = None && emit_catapult = None && ring_capacity = 0 then
+    (None, None, fun () -> ())
+  else begin
+    (* catapult is the one artifact that renders timestamps; give the hub
+       a real clock only when it is requested, so every other artifact
+       stays a pure function of the seed *)
+    let clock = if emit_catapult = None then None else Some Sys.time in
+    let hub = Tele.Hub.create ?clock () in
+    let closers = ref [] in
+    let add_file mk file =
+      let oc = open_out file in
+      Tele.Hub.add_sink hub (mk (output_string oc));
+      closers := (fun () -> close_out oc) :: !closers
+    in
+    Option.iter (add_file Tele.Sink.jsonl) emit_trace;
+    Option.iter (add_file Tele.Sink.catapult) emit_catapult;
+    let ring =
+      if ring_capacity = 0 then None
+      else begin
+        let r = Tele.Sink.ring ~capacity:ring_capacity in
+        Tele.Hub.add_sink hub r;
+        Some r
+      end
+    in
+    ( Some hub,
+      ring,
+      fun () ->
+        Tele.Hub.close hub;
+        List.iter (fun f -> f ()) !closers )
+  end
+
+let ring_summary ring =
+  let events =
+    List.map
+      (fun (s : Tele.Event.stamped) -> s.Tele.Event.ev)
+      (Tele.Sink.ring_events ring)
+  in
+  let meta, summary = Tele.Stats.of_events events in
+  Tele.Stats.to_json ?meta summary
+
+let emit_trace_arg =
+  Arg.(value & opt (some string) None
+       & info [ "emit-trace" ] ~docv:"FILE"
+           ~doc:"Write the telemetry event stream as JSON Lines to $(docv) \
+                 (one event per line; deterministic under --seed).")
+
+let emit_json_arg =
+  Arg.(value & opt (some string) None
+       & info [ "emit-json" ] ~docv:"FILE"
+           ~doc:"Write a machine-readable summary (JSON) to $(docv).")
+
+let emit_catapult_arg =
+  Arg.(value & opt (some string) None
+       & info [ "emit-catapult" ] ~docv:"FILE"
+           ~doc:"Write a Chrome trace-event (catapult) export to $(docv); \
+                 load it in about://tracing or ui.perfetto.dev.")
+
 (* ---- run ---- *)
 
 let run_cmd topo algo_name daemon_name workload_name steps seed disc random_init
-    fault_at trace timeline =
+    fault_at trace timeline emit_trace emit_json emit_catapult =
   let h = or_die (topology topo) in
   let daemon = or_die (daemon daemon_name) in
   let workload = or_die (workload workload_name ~disc h) in
@@ -133,10 +219,23 @@ let run_cmd topo algo_name daemon_name workload_name steps seed disc random_init
         else [])
       fault_at
   in
-  let r =
-    runner.X.run ~seed ~init ?faults ~record_trace:(trace || timeline) ~daemon
-      ~workload ~steps h
+  (* generous per-step event bound so the ring never wraps (a wrapped ring
+     would lose the run_start header and skew the aggregated summary) *)
+  let ring_capacity =
+    if emit_json = None then 0
+    else (steps * ((4 * H.n h) + (4 * H.m h) + 16)) + 64
   in
+  let telemetry, ring, finish_telemetry =
+    make_hub ~ring_capacity ~emit_trace ~emit_catapult ()
+  in
+  let r =
+    runner.X.run ~seed ~init ?faults ?telemetry
+      ~record_trace:(trace || timeline) ~daemon ~workload ~steps h
+  in
+  (match (emit_json, ring) with
+   | Some file, Some rg -> write_json file (ring_summary rg)
+   | _ -> ());
+  finish_telemetry ();
   Format.printf "%a@." Driver.pp_result r;
   if r.Driver.violations <> [] then begin
     Format.printf "@.violations:@.";
@@ -156,13 +255,23 @@ let run_term =
   Term.(
     const run_cmd $ topology_arg $ algo_arg $ daemon_arg $ workload_arg
     $ steps_arg $ seed_arg $ disc_arg $ random_init_arg $ fault_arg $ trace_arg
-    $ timeline_arg)
+    $ timeline_arg $ emit_trace_arg $ emit_json_arg $ emit_catapult_arg)
 
 (* ---- mp (message-passing emulation) ---- *)
 
-let mp_cmd topo algo_name workload_name steps seed disc random_init bias =
+let mp_cmd topo algo_name workload_name steps seed disc random_init bias
+    emit_trace emit_json =
   let h = or_die (topology topo) in
   let workload = or_die (workload workload_name ~disc h) in
+  let ring_capacity =
+    if emit_json = None then 0 else (steps * ((2 * H.n h) + 8)) + 64
+  in
+  let telemetry, ring, finish_telemetry =
+    make_hub ~ring_capacity ~emit_trace ~emit_catapult:None ()
+  in
+  let emit ev =
+    match telemetry with Some hub -> Tele.Hub.emit hub ev | None -> ()
+  in
   let module Run (A : Snapcc_runtime.Model.ALGO) = struct
     module E = Snapcc_mp.Mp_engine.Make (A)
 
@@ -170,9 +279,13 @@ let mp_cmd topo algo_name workload_name steps seed disc random_init bias =
       let eng =
         E.create ~seed
           ~init:(if random_init then `Random else `Canonical)
-          ~deliver_bias:bias h
+          ~deliver_bias:bias ?telemetry h
       in
-      let spec = Spec.create h ~initial:(E.obs eng) in
+      let spec = Spec.create ?telemetry h ~initial:(E.obs eng) in
+      emit
+        (Tele.Event.Run_start
+           { algo = A.name; daemon = "mp-scheduler";
+             workload = Workload.name workload; seed; n = H.n h; m = H.m h });
       let before = ref (E.obs eng) in
       for i = 0 to steps - 1 do
         let inputs = Workload.inputs workload !before in
@@ -184,6 +297,11 @@ let mp_cmd topo algo_name workload_name steps seed disc random_init bias =
         Workload.observe workload ~step:i after;
         before := after
       done;
+      emit (Tele.Event.Run_end { outcome = "steps_exhausted"; steps; rounds = 0 });
+      (match (emit_json, ring) with
+       | Some file, Some rg -> write_json file (ring_summary rg)
+       | _ -> ());
+      finish_telemetry ();
       Format.printf
         "%s over message passing: %d steps, %d meetings, %d violations@."
         A.name steps
@@ -212,7 +330,8 @@ let bias_arg =
 let mp_term =
   Term.(
     const mp_cmd $ topology_arg $ algo_arg $ workload_arg $ steps_arg
-    $ seed_arg $ disc_arg $ random_init_arg $ bias_arg)
+    $ seed_arg $ disc_arg $ random_init_arg $ bias_arg $ emit_trace_arg
+    $ emit_json_arg)
 
 (* ---- bounds ---- *)
 
@@ -265,7 +384,27 @@ let lint_targets : (string * (module Model.ALGO) * Lint_report.rule list) list =
 
 let lint_default_topos = "fig1,ring6,path5,star5,single4"
 
-let lint_cmd topos algos seed seeds max_configs verbose =
+let lint_finding_json (f : Lint_report.finding) =
+  Tele.Json.Obj
+    [ ("rule", Tele.Json.String (Lint_report.rule_name f.Lint_report.rule));
+      ("action", Tele.Json.String f.Lint_report.action);
+      ("proc", Tele.Json.Int f.Lint_report.proc);
+      ("count", Tele.Json.Int f.Lint_report.count);
+      ("detail", Tele.Json.String f.Lint_report.detail) ]
+
+let lint_report_json (r : Lint_report.t) =
+  let strs xs = Tele.Json.List (List.map (fun s -> Tele.Json.String s) xs) in
+  Tele.Json.Obj
+    [ ("algo", Tele.Json.String r.Lint_report.algo);
+      ("topo", Tele.Json.String r.Lint_report.topo);
+      ("ok", Tele.Json.Bool (Lint_report.ok r));
+      ("configs", Tele.Json.Int r.Lint_report.configs);
+      ("evals", Tele.Json.Int r.Lint_report.evals);
+      ("findings", Tele.Json.List (List.map lint_finding_json r.Lint_report.findings));
+      ("waived", Tele.Json.List (List.map lint_finding_json r.Lint_report.waived));
+      ("dead", strs r.Lint_report.dead) ]
+
+let lint_cmd topos algos seed seeds max_configs verbose emit_json =
   let names s = String.split_on_char ',' s |> List.filter (fun x -> x <> "") in
   let targets =
     match algos with
@@ -301,7 +440,15 @@ let lint_cmd topos algos seed seeds max_configs verbose =
     Format.printf "@.";
     List.iter (fun l -> Format.printf "%s@." l) lines
   end;
-  if not (List.for_all Lint_report.ok reports) then exit 1
+  let ok = List.for_all Lint_report.ok reports in
+  (match emit_json with
+   | None -> ()
+   | Some file ->
+     write_json file
+       (Tele.Json.Obj
+          [ ("ok", Tele.Json.Bool ok);
+            ("reports", Tele.Json.List (List.map lint_report_json reports)) ]));
+  if not ok then exit 1
 
 let lint_topos_arg =
   Arg.(value & opt string lint_default_topos
@@ -328,7 +475,7 @@ let lint_verbose_arg =
 let lint_term =
   Term.(
     const lint_cmd $ lint_topos_arg $ lint_algos_arg $ seed_arg $ lint_seeds_arg
-    $ lint_max_configs_arg $ lint_verbose_arg)
+    $ lint_max_configs_arg $ lint_verbose_arg $ emit_json_arg)
 
 (* ---- check (exhaustive model checker, lib/mc) ---- *)
 
@@ -348,8 +495,32 @@ let resolve_topo family n =
     | Ok h -> Ok (family, h)
     | Error e -> Error e)
 
+let mc_report_json (r : Mc_report.t) =
+  let open Tele.Json in
+  Obj
+    [ ("algo", String r.Mc_report.algo);
+      ("token", String r.Mc_report.token);
+      ("topo", String r.Mc_report.topo);
+      ("outcome", String (Mc_report.outcome_name (Mc_report.outcome r)));
+      ("product", Float r.Mc_report.product);
+      ("configs", Int r.Mc_report.configs);
+      ("transitions", Int r.Mc_report.transitions);
+      ("complete", Bool r.Mc_report.complete);
+      ("escapees", Int r.Mc_report.escapees);
+      ("dead", List (List.map (fun s -> String s) r.Mc_report.dead));
+      ("safety_violations", Int r.Mc_report.safety_violations);
+      ("first_rule",
+       (match r.Mc_report.first_rule with None -> Null | Some s -> String s));
+      ("progress_checked", Bool r.Mc_report.progress_checked);
+      ("sccs", Int r.Mc_report.sccs);
+      ("largest_scc", Int r.Mc_report.largest_scc);
+      ("deadlocks", Int r.Mc_report.deadlocks);
+      ("livelocks", Int r.Mc_report.livelocks);
+      ("seconds", Float r.Mc_report.seconds);
+      ("states_per_sec", Float (Mc_report.states_per_sec r)) ]
+
 let check_one ~(entry : Mc_systems.entry) ~token ~topo_name ~h ~max_states
-    ~keep_going ~sample ~seed ~cex_path ~progress =
+    ~keep_going ~sample ~seed ~cex_path ~progress ~telemetry =
   let module S = (val entry.Mc_systems.make token) in
   let module Ex = Snapcc_mc.Explore.Make (S) in
   let module CexM = Snapcc_mc.Counterexample.Make (S) in
@@ -365,12 +536,20 @@ let check_one ~(entry : Mc_systems.entry) ~token ~topo_name ~h ~max_states
                Array.init (H.n h) (fun p -> S.random_init h rng p)))
     end
   in
+  (* progress goes to stderr (stdout stays machine-parseable); the same
+     hook feeds [mc_frontier] telemetry events when --emit-json asked *)
   let on_progress =
-    if progress then
+    if (not progress) && telemetry = None then None
+    else
       Some
         (fun ~configs ~transitions ->
-          Format.eprintf "  ... %d states, %d transitions@." configs transitions)
-    else None
+          if progress then
+            Format.eprintf "  ... %d states, %d transitions@." configs
+              transitions;
+          match telemetry with
+          | Some hub ->
+            Tele.Hub.emit hub (Tele.Event.Mc_frontier { configs; transitions })
+          | None -> ())
   in
   let result =
     Ex.explore ?on_progress ~max_configs:max_states ~roots
@@ -477,8 +656,15 @@ let check_one ~(entry : Mc_systems.entry) ~token ~topo_name ~h ~max_states
   report
 
 let check_cmd algos family n token max_states keep_going sample seed cex_path
-    progress =
+    progress emit_json =
   let topo_name, h = or_die (resolve_topo family n) in
+  (* frontier samples arrive every ~16k explored configurations, so even a
+     multi-million-state run fits a small ring *)
+  let telemetry, ring, finish_telemetry =
+    make_hub
+      ~ring_capacity:(if emit_json = None then 0 else 65_536)
+      ~emit_trace:None ~emit_catapult:None ()
+  in
   let keys =
     match algos with
     | "all" -> List.map (fun (e : Mc_systems.entry) -> e.Mc_systems.key) Mc_systems.all
@@ -503,7 +689,7 @@ let check_cmd algos family n token max_states keep_going sample seed cex_path
           try
             Ok
               (check_one ~entry ~token ~topo_name ~h ~max_states ~keep_going
-                 ~sample ~seed ~cex_path ~progress)
+                 ~sample ~seed ~cex_path ~progress ~telemetry)
           with Invalid_argument msg | Failure msg -> Error msg
         in
         Format.printf "@.";
@@ -512,6 +698,26 @@ let check_cmd algos family n token max_states keep_going sample seed cex_path
   in
   if List.length reports > 1 then
     Format.printf "%a@." Table.pp (Mc_report.summary_table reports);
+  (match (emit_json, ring) with
+   | Some file, Some rg ->
+     let frontier =
+       List.filter_map
+         (fun (s : Tele.Event.stamped) ->
+           match s.Tele.Event.ev with
+           | Tele.Event.Mc_frontier { configs; transitions } ->
+             Some
+               (Tele.Json.Obj
+                  [ ("configs", Tele.Json.Int configs);
+                    ("transitions", Tele.Json.Int transitions) ])
+           | _ -> None)
+         (Tele.Sink.ring_events rg)
+     in
+     write_json file
+       (Tele.Json.Obj
+          [ ("reports", Tele.Json.List (List.map mc_report_json reports));
+            ("frontier", Tele.Json.List frontier) ])
+   | _ -> ());
+  finish_telemetry ();
   if List.exists (fun r -> Mc_report.outcome r = Mc_report.Fail) reports then
     exit 1
 
@@ -570,7 +776,7 @@ let check_term =
   Term.(
     const check_cmd $ check_algo_arg $ family_arg $ nprocs_arg $ check_token_arg
     $ max_states_arg $ keep_going_arg $ sample_arg $ seed_arg $ cex_out_arg
-    $ check_progress_arg)
+    $ check_progress_arg $ emit_json_arg)
 
 (* ---- replay ---- *)
 
@@ -611,6 +817,43 @@ let replay_file_arg =
          ~doc:"Counterexample file written by `ccsim check'.")
 
 let replay_term = Term.(const replay_cmd $ replay_file_arg)
+
+(* ---- stats (offline trace aggregation) ---- *)
+
+let stats_cmd validate file =
+  if not (Sys.file_exists file) then
+    or_die (Error (Printf.sprintf "no such file %S" file));
+  if validate then begin
+    (* strict whole-file JSON parse — the CI gate for BENCH_*.json and the
+       other machine-readable artifacts *)
+    let content = String.concat "\n" (read_lines file) in
+    match Tele.Json.of_string content with
+    | Ok _ -> Format.printf "%s: valid JSON@." file
+    | Error msg ->
+      Format.eprintf "ccsim: %s: %s@." file msg;
+      exit 1
+  end
+  else begin
+    match Tele.Stats.of_jsonl (read_lines file) with
+    | Ok (meta, summary) ->
+      print_string (Tele.Json.to_string (Tele.Stats.to_json ?meta summary));
+      print_newline ()
+    | Error msg ->
+      Format.eprintf "ccsim: %s: %s@." file msg;
+      exit 1
+  end
+
+let stats_file_arg =
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE"
+         ~doc:"JSONL trace written by `ccsim run --emit-trace' (or, with \
+               --validate-json, any JSON file).")
+
+let stats_validate_arg =
+  Arg.(value & flag & info [ "validate-json" ]
+         ~doc:"Only check that $(i,FILE) parses as JSON (whole-file, not \
+               JSONL); exit 1 otherwise.")
+
+let stats_term = Term.(const stats_cmd $ stats_validate_arg $ stats_file_arg)
 
 (* ---- list ---- *)
 
@@ -666,6 +909,12 @@ let cmds =
                the simulation engine and runtime monitors.  Exit codes: 0 \
                reproduced, 1 not reproduced, 2 invalid file.")
       replay_term;
+    Cmd.v
+      (Cmd.info "stats"
+         ~doc:"Aggregate a JSONL telemetry trace back to a run summary \
+               (identical to the `ccsim run --emit-json' artifact), or \
+               validate any JSON artifact with --validate-json.")
+      stats_term;
     Cmd.v (Cmd.info "list" ~doc:"List topologies, algorithms and experiments") list_term;
   ]
 

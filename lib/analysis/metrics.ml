@@ -1,5 +1,6 @@
 module H = Snapcc_hypergraph.Hypergraph
 module Obs = Snapcc_runtime.Obs
+module Tele = Snapcc_telemetry
 
 type summary = {
   steps : int;
@@ -33,9 +34,13 @@ type t = {
   waits : wait option array;
   mutable rev_completed_steps : int list;
   mutable rev_completed_rounds : int list;
+  telemetry : Tele.Hub.t option;
 }
 
-let create h ~initial =
+let emit t ev =
+  match t.telemetry with Some hub -> Tele.Hub.emit hub ev | None -> ()
+
+let create ?telemetry h ~initial =
   let n = H.n h in
   let waits = Array.make n None in
   Array.iteri
@@ -53,6 +58,7 @@ let create h ~initial =
     waits;
     rev_completed_steps = [];
     rev_completed_rounds = [];
+    telemetry;
   }
 
 let on_step t ~step ~round ~before ~after =
@@ -61,20 +67,41 @@ let on_step t ~step ~round ~before ~after =
   let k = List.length meetings in
   t.concurrency_sum <- t.concurrency_sum + k;
   if k > t.max_concurrency then t.max_concurrency <- k;
+  (* terminated committees (met before, not after) — telemetry only *)
+  (match t.telemetry with
+   | None -> ()
+   | Some _ ->
+     List.iter
+       (fun e ->
+         if not (List.mem e meetings) then
+           emit t (Tele.Event.Terminate { step; round; eid = e }))
+       (Obs.meetings t.h before));
   (* convened committees close the waiting spans of their members *)
   List.iter
     (fun e ->
       if not (Obs.meets t.h before e) then begin
         t.convenes <- t.convenes + 1;
         t.convene_per_edge.(e) <- t.convene_per_edge.(e) + 1;
+        emit t (Tele.Event.Convene { step; round; eid = e });
         Array.iter
           (fun q ->
             t.participation.(q) <- t.participation.(q) + 1;
             match t.waits.(q) with
             | None -> ()
             | Some w ->
-              t.rev_completed_steps <- (step - w.since_step) :: t.rev_completed_steps;
-              t.rev_completed_rounds <- (round - w.since_round) :: t.rev_completed_rounds;
+              let waited_steps = step - w.since_step in
+              let waited_rounds = round - w.since_round in
+              t.rev_completed_steps <- waited_steps :: t.rev_completed_steps;
+              t.rev_completed_rounds <- waited_rounds :: t.rev_completed_rounds;
+              emit t
+                (Tele.Event.Wait_close
+                   { step; round; p = q; waited_steps; waited_rounds });
+              (match t.telemetry with
+               | Some hub ->
+                 Tele.Registry.observe
+                   (Tele.Registry.histogram (Tele.Hub.registry hub) "wait_steps")
+                   waited_steps
+               | None -> ());
               t.waits.(q) <- None)
           (H.edge_members t.h e)
       end)
@@ -94,8 +121,10 @@ let on_step t ~step ~round ~before ~after =
            not in a meeting *)
         if not (Obs.is_waiting o) then t.waits.(p) <- None
       | None ->
-        if Obs.is_waiting o && not (Obs.is_waiting before.(p)) then
-          t.waits.(p) <- Some { since_step = step; since_round = round })
+        if Obs.is_waiting o && not (Obs.is_waiting before.(p)) then begin
+          t.waits.(p) <- Some { since_step = step; since_round = round };
+          emit t (Tele.Event.Wait_open { step; round; p })
+        end)
     after
 
 let mean = function

@@ -20,7 +20,17 @@ type summary = {
 
 type t
 
-val create : Snapcc_hypergraph.Hypergraph.t -> initial:Snapcc_runtime.Obs.t array -> t
+val create :
+  ?telemetry:Snapcc_telemetry.Hub.t ->
+  Snapcc_hypergraph.Hypergraph.t ->
+  initial:Snapcc_runtime.Obs.t array ->
+  t
+(** With [telemetry], every measurement is also emitted as a typed event:
+    [convene]/[terminate] per committee transition, [wait_open]/[wait_close]
+    per waiting span (the [wait_close] duration also feeds the hub's
+    ["wait_steps"] histogram) — so an offline aggregation of the event
+    stream ({!Snapcc_telemetry.Stats}) reproduces this module's summary
+    exactly. *)
 
 val on_step :
   t -> step:int -> round:int ->

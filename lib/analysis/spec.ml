@@ -16,9 +16,10 @@ type t = {
   convene_count : int array;
   participations : int array;
   sessions : session array;
+  telemetry : Snapcc_telemetry.Hub.t option;
 }
 
-let create h ~initial =
+let create ?telemetry h ~initial =
   let sessions =
     Array.init (H.m h) (fun e -> if Obs.meets h initial e then Exempt else Off)
   in
@@ -29,10 +30,16 @@ let create h ~initial =
     convene_count = Array.make (H.m h) 0;
     participations = Array.make (H.n h) 0;
     sessions;
+    telemetry;
   }
 
 let report t ~step ~rule detail =
-  t.rev_violations <- { step; rule; detail } :: t.rev_violations
+  t.rev_violations <- { step; rule; detail } :: t.rev_violations;
+  match t.telemetry with
+  | Some hub ->
+    Snapcc_telemetry.Hub.emit hub
+      (Snapcc_telemetry.Event.Verdict { step; rule; detail })
+  | None -> ()
 
 let edge_str t e = Format.asprintf "%a" (H.pp_edge t.h) e
 

@@ -16,7 +16,13 @@ type violation = {
 
 type t
 
-val create : Snapcc_hypergraph.Hypergraph.t -> initial:Snapcc_runtime.Obs.t array -> t
+val create :
+  ?telemetry:Snapcc_telemetry.Hub.t ->
+  Snapcc_hypergraph.Hypergraph.t ->
+  initial:Snapcc_runtime.Obs.t array ->
+  t
+(** With [telemetry], every recorded violation is also emitted as a
+    [verdict] event on the hub. *)
 
 val on_step :
   t ->

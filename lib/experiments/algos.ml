@@ -47,6 +47,7 @@ type runner = {
     ?faults:(step:int -> int list) ->
     ?stop_when:(Snapcc_runtime.Obs.t array -> bool) ->
     ?record_trace:bool ->
+    ?telemetry:Snapcc_telemetry.Hub.t ->
     daemon:Snapcc_runtime.Daemon.t ->
     workload:Snapcc_workload.Workload.t ->
     steps:int ->
@@ -57,26 +58,26 @@ type runner = {
 (* The runner table used by sweep experiments. *)
 let paper_algorithms () =
   [ { label = "CC1";
-      run = (fun ?seed ?init ?faults ?stop_when ?record_trace ~daemon ~workload ~steps h ->
-          Run_cc1.run ?seed ?init ?faults ?stop_when ?record_trace ~daemon ~workload ~steps h) };
+      run = (fun ?seed ?init ?faults ?stop_when ?record_trace ?telemetry ~daemon ~workload ~steps h ->
+          Run_cc1.run ?seed ?init ?faults ?stop_when ?record_trace ?telemetry ~daemon ~workload ~steps h) };
     { label = "CC2";
-      run = (fun ?seed ?init ?faults ?stop_when ?record_trace ~daemon ~workload ~steps h ->
-          Run_cc2.run ?seed ?init ?faults ?stop_when ?record_trace ~daemon ~workload ~steps h) };
+      run = (fun ?seed ?init ?faults ?stop_when ?record_trace ?telemetry ~daemon ~workload ~steps h ->
+          Run_cc2.run ?seed ?init ?faults ?stop_when ?record_trace ?telemetry ~daemon ~workload ~steps h) };
     { label = "CC3";
-      run = (fun ?seed ?init ?faults ?stop_when ?record_trace ~daemon ~workload ~steps h ->
-          Run_cc3.run ?seed ?init ?faults ?stop_when ?record_trace ~daemon ~workload ~steps h) };
+      run = (fun ?seed ?init ?faults ?stop_when ?record_trace ?telemetry ~daemon ~workload ~steps h ->
+          Run_cc3.run ?seed ?init ?faults ?stop_when ?record_trace ?telemetry ~daemon ~workload ~steps h) };
   ]
 
 let baseline_algorithms () =
   [ { label = "token-only";
-      run = (fun ?seed ?init ?faults ?stop_when ?record_trace ~daemon ~workload ~steps h ->
-          Run_token_only.run ?seed ?init ?faults ?stop_when ?record_trace ~daemon ~workload ~steps h) };
+      run = (fun ?seed ?init ?faults ?stop_when ?record_trace ?telemetry ~daemon ~workload ~steps h ->
+          Run_token_only.run ?seed ?init ?faults ?stop_when ?record_trace ?telemetry ~daemon ~workload ~steps h) };
     { label = "dining";
-      run = (fun ?seed ?init ?faults ?stop_when ?record_trace ~daemon ~workload ~steps h ->
-          Run_dining.run ?seed ?init ?faults ?stop_when ?record_trace ~daemon ~workload ~steps h) };
+      run = (fun ?seed ?init ?faults ?stop_when ?record_trace ?telemetry ~daemon ~workload ~steps h ->
+          Run_dining.run ?seed ?init ?faults ?stop_when ?record_trace ?telemetry ~daemon ~workload ~steps h) };
     { label = "central";
-      run = (fun ?seed ?init ?faults ?stop_when ?record_trace ~daemon ~workload ~steps h ->
-          Run_central.run ?seed ?init ?faults ?stop_when ?record_trace ~daemon ~workload ~steps h) };
+      run = (fun ?seed ?init ?faults ?stop_when ?record_trace ?telemetry ~daemon ~workload ~steps h ->
+          Run_central.run ?seed ?init ?faults ?stop_when ?record_trace ?telemetry ~daemon ~workload ~steps h) };
   ]
 
 let all_algorithms () = paper_algorithms () @ baseline_algorithms ()

@@ -12,6 +12,7 @@ module Trace = Snapcc_runtime.Trace
 module Workload = Snapcc_workload.Workload
 module Spec = Snapcc_analysis.Spec
 module Metrics = Snapcc_analysis.Metrics
+module Tele = Snapcc_telemetry
 
 type result = {
   algo : string;
@@ -49,7 +50,7 @@ module Make (A : Model.ALGO) = struct
   let run_with_states ?(seed = 0) ?(init : [ `Canonical | `Random ] = `Canonical)
       ?init_states ?(check_locality = false) ?faults ?(stop_when = fun _ -> false)
       ?(on_obs = fun ~step:_ _ -> ()) ?(record_trace = false)
-      ?(stutter_limit = 1000) ~daemon ~workload ~steps h =
+      ?(stutter_limit = 1000) ?telemetry ~daemon ~workload ~steps h =
     let init =
       match init_states with
       | Some states -> `States states
@@ -57,13 +58,29 @@ module Make (A : Model.ALGO) = struct
     in
     let eng = E.create ~seed ~check_locality ~init ~daemon h in
     let initial = E.obs eng in
-    let spec = Spec.create h ~initial in
-    let metrics = Metrics.create h ~initial in
+    let spec = Spec.create ?telemetry h ~initial in
+    let metrics = Metrics.create ?telemetry h ~initial in
     let trace = if record_trace then Some (Trace.create h ~initial) else None in
+    let emit ev =
+      match telemetry with Some hub -> Tele.Hub.emit hub ev | None -> ()
+    in
+    let step_counter =
+      Option.map (fun hub -> Tele.Registry.counter (Tele.Hub.registry hub) "steps")
+        telemetry
+    in
+    emit
+      (Tele.Event.Run_start
+         { algo = A.name;
+           daemon = Daemon.name daemon;
+           workload = Workload.name workload;
+           seed;
+           n = Snapcc_hypergraph.Hypergraph.n h;
+           m = Snapcc_hypergraph.Hypergraph.m h });
     let outcome = ref `Steps_exhausted in
     let before = ref initial in
     let last_round = ref 0 in
     let stutters = ref 0 in
+    let awaiting_recover = ref false in
     (try
        for _i = 0 to steps - 1 do
          (match faults with
@@ -75,6 +92,13 @@ module Make (A : Model.ALGO) = struct
                E.corrupt eng ~victims ();
                let corrupted = E.obs eng in
                Spec.on_fault spec corrupted;
+               emit
+                 (Tele.Event.Fault { step = E.steps_taken eng; victims });
+               awaiting_recover := true;
+               (match trace with
+                | Some tr ->
+                  Trace.record_fault tr ~step:(E.steps_taken eng) corrupted
+                | None -> ());
                before := corrupted));
          let inputs = Workload.inputs workload !before in
          let report = E.step eng ~inputs in
@@ -93,6 +117,38 @@ module Make (A : Model.ALGO) = struct
          else begin
            stutters := 0;
            let after = E.obs eng in
+           (* telemetry: engine step (daemon selection, meeting set),
+              per-process firings, token handoffs, post-fault recovery *)
+           (match telemetry with
+            | None -> ()
+            | Some _ ->
+              Option.iter (fun c -> Tele.Registry.incr c) step_counter;
+              let meetings = Obs.meetings h after in
+              emit
+                (Tele.Event.Step
+                   { step = report.Model.step;
+                     round = report.Model.round;
+                     selected = report.Model.selected;
+                     neutralized = report.Model.neutralized;
+                     meetings });
+              List.iter
+                (fun (p, label) ->
+                  emit (Tele.Event.Action { step = report.Model.step; p; label }))
+                report.Model.executed;
+              Array.iteri
+                (fun p (o : Obs.t) ->
+                  if o.Obs.has_token && not (!before).(p).Obs.has_token then
+                    emit
+                      (Tele.Event.Token_handoff { step = report.Model.step; p }))
+                after;
+              if !awaiting_recover then (
+                match
+                  List.find_opt (fun e -> not (Obs.meets h !before e)) meetings
+                with
+                | Some eid ->
+                  awaiting_recover := false;
+                  emit (Tele.Event.Recover { step = report.Model.step; eid })
+                | None -> ()));
            Spec.on_step spec ~step:report.Model.step
              ~request_out:inputs.Model.request_out ~before:!before ~after;
            Metrics.on_step metrics ~step:report.Model.step ~round:report.Model.round
@@ -109,6 +165,15 @@ module Make (A : Model.ALGO) = struct
          end
        done
      with Exit -> ());
+    emit
+      (Tele.Event.Run_end
+         { outcome =
+             (match !outcome with
+              | `Terminal -> "terminal"
+              | `Stopped -> "stopped"
+              | `Steps_exhausted -> "steps_exhausted");
+           steps = E.steps_taken eng;
+           rounds = E.rounds eng });
     ( {
         algo = A.name;
         daemon = Daemon.name daemon;
@@ -127,9 +192,9 @@ module Make (A : Model.ALGO) = struct
       E.states eng )
 
   let run ?seed ?init ?init_states ?check_locality ?faults ?stop_when ?on_obs
-      ?record_trace ?stutter_limit ~daemon ~workload ~steps h =
+      ?record_trace ?stutter_limit ?telemetry ~daemon ~workload ~steps h =
     fst
       (run_with_states ?seed ?init ?init_states ?check_locality ?faults
-         ?stop_when ?on_obs ?record_trace ?stutter_limit ~daemon ~workload
-         ~steps h)
+         ?stop_when ?on_obs ?record_trace ?stutter_limit ?telemetry ~daemon
+         ~workload ~steps h)
 end

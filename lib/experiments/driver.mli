@@ -42,6 +42,7 @@ module Make (A : Snapcc_runtime.Model.ALGO) : sig
     ?on_obs:(step:int -> Snapcc_runtime.Obs.t array -> unit) ->
     ?record_trace:bool ->
     ?stutter_limit:int ->
+    ?telemetry:Snapcc_telemetry.Hub.t ->
     daemon:Snapcc_runtime.Daemon.t ->
     workload:Snapcc_workload.Workload.t ->
     steps:int ->
@@ -55,7 +56,15 @@ module Make (A : Snapcc_runtime.Model.ALGO) : sig
       (the monitor is notified, §2.5 exemptions apply).  When the engine
       reports a terminal configuration the driver {e stutters}: inputs may
       evolve (discussion timers, request coins), so the run only ends after
-      [stutter_limit] (default 1000) consecutive input-frozen stutters. *)
+      [stutter_limit] (default 1000) consecutive input-frozen stutters.
+
+      [telemetry] instruments the run end to end: a [run_start] header,
+      one [step] event per engine step (daemon selection, neutralizations,
+      meeting set), one [action] event per firing, [convene]/[terminate]/
+      [wait_open]/[wait_close] from the metrics layer, [verdict] from the
+      specification monitor, [token_handoff], [fault]/[recover], and a
+      [run_end] trailer.  All events are logical (step/round-stamped), so a
+      JSONL trace is a deterministic function of [seed]. *)
 
   val run :
     ?seed:int ->
@@ -67,6 +76,7 @@ module Make (A : Snapcc_runtime.Model.ALGO) : sig
     ?on_obs:(step:int -> Snapcc_runtime.Obs.t array -> unit) ->
     ?record_trace:bool ->
     ?stutter_limit:int ->
+    ?telemetry:Snapcc_telemetry.Hub.t ->
     daemon:Snapcc_runtime.Daemon.t ->
     workload:Snapcc_workload.Workload.t ->
     steps:int ->

@@ -32,9 +32,9 @@ let runners () =
   Algos.all_algorithms ()
   @ [ { Algos.label = "CC1/no-token";
         run =
-          (fun ?seed ?init ?faults ?stop_when ?record_trace ~daemon ~workload ~steps h ->
+          (fun ?seed ?init ?faults ?stop_when ?record_trace ?telemetry ~daemon ~workload ~steps h ->
             Algos.Run_cc1_no_token.run ?seed ?init ?faults ?stop_when
-              ?record_trace ~daemon ~workload ~steps h) };
+              ?record_trace ?telemetry ~daemon ~workload ~steps h) };
     ]
 
 let topologies ~quick () =

@@ -1,5 +1,6 @@
 module H = Snapcc_hypergraph.Hypergraph
 module Model = Snapcc_runtime.Model
+module Tele = Snapcc_telemetry
 
 module Make (A : Model.ALGO) = struct
   type event =
@@ -10,6 +11,7 @@ module Make (A : Model.ALGO) = struct
     h : H.t;
     rng : Random.State.t;
     deliver_bias : float;
+    telemetry : Tele.Hub.t option;
     states : A.state array;  (* the true cores *)
     cache : A.state array array;  (* cache.(p).(i): last received from i-th neighbor *)
     chan : A.state option array array;  (* chan.(p).(i): pending from i-th neighbor *)
@@ -33,7 +35,7 @@ module Make (A : Model.ALGO) = struct
     in
     find 0
 
-  let create ?(seed = 0) ?(init = `Canonical) ?(deliver_bias = 0.5) h =
+  let create ?(seed = 0) ?(init = `Canonical) ?(deliver_bias = 0.5) ?telemetry h =
     let n = H.n h in
     let rng = Random.State.make [| seed; n; 0x3b |] in
     let mk p = match init with `Canonical -> A.init h p | `Random -> A.random_init h rng p in
@@ -61,6 +63,7 @@ module Make (A : Model.ALGO) = struct
       h;
       rng;
       deliver_bias;
+      telemetry;
       states;
       cache;
       chan;
@@ -103,6 +106,9 @@ module Make (A : Model.ALGO) = struct
     in
     scan (Array.length t.actions - 1)
 
+  let emit t ev =
+    match t.telemetry with None -> () | Some hub -> Tele.Hub.emit hub ev
+
   let broadcast t p =
     Array.iteri
       (fun _i q ->
@@ -121,6 +127,7 @@ module Make (A : Model.ALGO) = struct
     in
     broadcast t p;
     t.idle_for.(p) <- 0;
+    emit t (Tele.Event.Mp_activated { step = t.steps; p; label });
     Activated (p, label)
 
   let deliver t p i =
@@ -131,7 +138,9 @@ module Make (A : Model.ALGO) = struct
        t.chan.(p).(i) <- None;
        t.delivered <- t.delivered + 1
      | None -> ());
-    Delivered (p, (H.neighbors t.h p).(i))
+    let src = (H.neighbors t.h p).(i) in
+    emit t (Tele.Event.Mp_delivered { step = t.steps; dst = p; src });
+    Delivered (p, src)
 
   let pending t =
     let acc = ref [] in
@@ -185,6 +194,7 @@ module Make (A : Model.ALGO) = struct
       else activate t ~inputs (Random.State.int t.rng n)
 
   let corrupt t ~victims =
+    emit t (Tele.Event.Fault { step = t.steps; victims });
     List.iter
       (fun p ->
         if p < 0 || p >= H.n t.h then invalid_arg "mp corrupt: bad victim";

@@ -31,11 +31,15 @@ module Make (A : Snapcc_runtime.Model.ALGO) : sig
     ?seed:int ->
     ?init:[ `Canonical | `Random ] ->
     ?deliver_bias:float ->
+    ?telemetry:Snapcc_telemetry.Hub.t ->
     Snapcc_hypergraph.Hypergraph.t ->
     t
   (** [deliver_bias] (default 0.5) is the probability that a step delivers a
       pending message rather than activating a process; staleness grows as
-      it shrinks.  [`Random] also randomizes caches and channels. *)
+      it shrinks.  [`Random] also randomizes caches and channels.
+      [telemetry] receives [mp_activated] per activation, [mp_delivered]
+      per delivery and [fault] on {!corrupt}, stamped with the scheduler
+      step. *)
 
   val hypergraph : t -> Snapcc_hypergraph.Hypergraph.t
 

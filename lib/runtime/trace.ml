@@ -4,6 +4,7 @@ type entry = {
   step : int;
   executed : (int * string) list;
   obs : Obs.t array;
+  fault : bool;
 }
 
 type t = {
@@ -17,8 +18,13 @@ let create h ~initial = { h; initial; rev_entries = []; count = 0 }
 
 let record t (report : Model.step_report) obs =
   t.rev_entries <-
-    { step = report.Model.step; executed = report.Model.executed; obs }
+    { step = report.Model.step; executed = report.Model.executed; obs;
+      fault = false }
     :: t.rev_entries;
+  t.count <- t.count + 1
+
+let record_fault t ~step obs =
+  t.rev_entries <- { step; executed = []; obs; fault = true } :: t.rev_entries;
   t.count <- t.count + 1
 
 let initial t = t.initial
@@ -28,10 +34,16 @@ let length t = t.count
 let final t =
   match t.rev_entries with [] -> t.initial | e :: _ -> e.obs
 
+(* Fault entries are configuration jumps, not algorithm steps: they reset
+   the comparison baseline without forming a transition, so a meeting
+   materialized by corruption is never reported as a convene (and one
+   destroyed by corruption never as a termination). *)
 let transitions t =
   let rec go prev acc = function
     | [] -> List.rev acc
-    | e :: rest -> go e.obs ((e.step, prev, e.obs) :: acc) rest
+    | e :: rest ->
+      if e.fault then go e.obs acc rest
+      else go e.obs ((e.step, prev, e.obs) :: acc) rest
   in
   go t.initial [] (entries t)
 
@@ -90,9 +102,13 @@ let pp ppf t =
   Format.fprintf ppf "@[<v>initial:@,%a@," (Obs.pp_snapshot t.h) t.initial;
   List.iter
     (fun e ->
-      Format.fprintf ppf "step %d: %s@,%a@," e.step
-        (String.concat ", "
-           (List.map (fun (p, l) -> Printf.sprintf "%d:%s" (H.id t.h p) l) e.executed))
-        (Obs.pp_snapshot t.h) e.obs)
+      if e.fault then
+        Format.fprintf ppf "fault before step %d:@,%a@," e.step
+          (Obs.pp_snapshot t.h) e.obs
+      else
+        Format.fprintf ppf "step %d: %s@,%a@," e.step
+          (String.concat ", "
+             (List.map (fun (p, l) -> Printf.sprintf "%d:%s" (H.id t.h p) l) e.executed))
+          (Obs.pp_snapshot t.h) e.obs)
     (entries t);
   Format.fprintf ppf "@]"

@@ -1,0 +1,69 @@
+(** The typed telemetry event model.
+
+    One variant per observable of the paper's execution model: engine steps
+    (with the daemon's selection and the resulting meeting set), per-process
+    action firings, committee convene/terminate, waiting-span open/close
+    (the waiting-time distribution of §3.3), monitor verdicts, token
+    handoffs, fault injection/recovery, model-checker frontier progress and
+    message-passing scheduler events.
+
+    Events are {e logical}: they carry step/round stamps, never wall-clock
+    time — so a JSONL trace is a deterministic function of the seed.  The
+    hub ({!Hub}) wraps events into {!stamped} values carrying a sequence
+    number and a monotonic timestamp; only the catapult sink ({!Sink})
+    renders the timestamp. *)
+
+type t =
+  | Run_start of {
+      algo : string;
+      daemon : string;
+      workload : string;
+      seed : int;
+      n : int;  (** professors *)
+      m : int;  (** committees *)
+    }
+  | Step of {
+      step : int;
+      round : int;
+      selected : int list;  (** the daemon's choice *)
+      neutralized : int list;
+      meetings : int list;  (** committees meeting after the step *)
+    }
+  | Action of { step : int; p : int; label : string }
+      (** One process fired one guarded action during the step. *)
+  | Convene of { step : int; round : int; eid : int }
+  | Terminate of { step : int; round : int; eid : int }
+  | Wait_open of { step : int; round : int; p : int }
+  | Wait_close of {
+      step : int;
+      round : int;
+      p : int;
+      waited_steps : int;
+      waited_rounds : int;
+    }
+  | Verdict of { step : int; rule : string; detail : string }
+      (** A specification monitor recorded a violation. *)
+  | Token_handoff of { step : int; p : int }
+      (** [p] acquired the circulating token. *)
+  | Fault of { step : int; victims : int list }
+  | Recover of { step : int; eid : int }
+      (** First committee convened after a fault: service resumed. *)
+  | Mc_frontier of { configs : int; transitions : int }
+      (** Model-checker exploration progress sample. *)
+  | Mp_activated of { step : int; p : int; label : string option }
+  | Mp_delivered of { step : int; dst : int; src : int }
+  | Run_end of { outcome : string; steps : int; rounds : int }
+
+type stamped = {
+  seq : int;  (** 0-based emission index within the run *)
+  t_us : int;  (** monotonic microseconds since hub creation *)
+  ev : t;
+}
+
+val kind : t -> string
+(** Stable snake-case tag, e.g. ["wait_close"] — the ["ev"] field of the
+    JSONL encoding. *)
+
+val to_json : t -> Json.t
+val of_json : Json.t -> (t, string) result
+(** Inverse of {!to_json} (unknown tags and missing fields are errors). *)

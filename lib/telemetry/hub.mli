@@ -1,0 +1,25 @@
+(** The telemetry hub: stamps events and fans them out to sinks, and owns
+    the run's instrument {!Registry}.
+
+    Stamping: each event gets a sequence number and a monotonic timestamp
+    from the hub's clock.  The default clock is {e logical} — the timestamp
+    equals the sequence number in microseconds — so every artifact,
+    including the catapult export, is deterministic; pass a real clock
+    (e.g. wall-time deltas, as [ccsim] does) when actual durations matter.
+    Timestamps are clamped to be non-decreasing. *)
+
+type t
+
+val create : ?clock:(unit -> float) -> unit -> t
+(** [clock ()] returns seconds since some fixed origin (hub creation, run
+    start — any origin works, only deltas are rendered). *)
+
+val add_sink : t -> Sink.t -> unit
+val emit : t -> Event.t -> unit
+val seq : t -> int
+(** Events emitted so far. *)
+
+val registry : t -> Registry.t
+
+val close : t -> unit
+(** Close every sink (terminating the catapult export). *)

@@ -1,0 +1,96 @@
+type counter = { mutable count : int }
+type gauge = { mutable value : float }
+
+type histogram = {
+  mutable samples : int array;
+  mutable len : int;
+}
+
+type t = {
+  counters : (string, counter) Hashtbl.t;
+  gauges : (string, gauge) Hashtbl.t;
+  histograms : (string, histogram) Hashtbl.t;
+}
+
+let create () =
+  { counters = Hashtbl.create 16;
+    gauges = Hashtbl.create 16;
+    histograms = Hashtbl.create 16 }
+
+let find_or_add tbl name mk =
+  match Hashtbl.find_opt tbl name with
+  | Some v -> v
+  | None ->
+    let v = mk () in
+    Hashtbl.add tbl name v;
+    v
+
+let counter t name = find_or_add t.counters name (fun () -> { count = 0 })
+let incr ?(by = 1) c = c.count <- c.count + by
+let counter_value c = c.count
+
+let gauge t name = find_or_add t.gauges name (fun () -> { value = 0. })
+let set_gauge g v = g.value <- v
+let gauge_value g = g.value
+
+let histogram t name =
+  find_or_add t.histograms name (fun () -> { samples = Array.make 16 0; len = 0 })
+
+let observe h v =
+  if h.len = Array.length h.samples then begin
+    let bigger = Array.make (2 * h.len) 0 in
+    Array.blit h.samples 0 bigger 0 h.len;
+    h.samples <- bigger
+  end;
+  h.samples.(h.len) <- v;
+  h.len <- h.len + 1
+
+let hist_count h = h.len
+let hist_values h = Array.to_list (Array.sub h.samples 0 h.len)
+
+let percentile q h =
+  if h.len = 0 then 0
+  else begin
+    let sorted = Array.sub h.samples 0 h.len in
+    Array.sort compare sorted;
+    let rank = int_of_float (ceil (q *. float_of_int h.len)) in
+    sorted.(max 0 (min (h.len - 1) (rank - 1)))
+  end
+
+let sorted_bindings tbl =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let to_json t =
+  let hist_json h =
+    let vals = hist_values h in
+    let sum = List.fold_left ( + ) 0 vals in
+    Json.Obj
+      [ ("count", Json.Int h.len);
+        ("min",
+         Json.Int (match vals with [] -> 0 | l -> List.fold_left min max_int l));
+        ("max",
+         Json.Int (match vals with [] -> 0 | l -> List.fold_left max min_int l));
+        ("mean",
+         Json.Float
+           (if h.len = 0 then 0. else float_of_int sum /. float_of_int h.len));
+        ("p50", Json.Int (percentile 0.50 h));
+        ("p90", Json.Int (percentile 0.90 h));
+        ("p95", Json.Int (percentile 0.95 h));
+        ("p99", Json.Int (percentile 0.99 h)) ]
+  in
+  Json.Obj
+    [ ("counters",
+       Json.Obj
+         (List.map
+            (fun (k, c) -> (k, Json.Int c.count))
+            (sorted_bindings t.counters)));
+      ("gauges",
+       Json.Obj
+         (List.map
+            (fun (k, g) -> (k, Json.Float g.value))
+            (sorted_bindings t.gauges)));
+      ("histograms",
+       Json.Obj
+         (List.map (fun (k, h) -> (k, hist_json h)) (sorted_bindings t.histograms)))
+    ]

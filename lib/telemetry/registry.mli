@@ -1,0 +1,41 @@
+(** Named counters, gauges and nearest-rank histograms.
+
+    A registry is the numeric side of the telemetry layer: monotone
+    counters (steps, convenes, messages), point-in-time gauges (states/s,
+    resident states) and histograms that retain every sample and answer
+    nearest-rank percentile queries — the same semantics as
+    [Snapcc_analysis.Metrics.percentile], so waiting-time distributions
+    computed online and offline agree exactly.
+
+    Instruments are created on first use ([counter r name] twice returns
+    the same instrument) and snapshots render names in sorted order, so the
+    JSON output is deterministic. *)
+
+type t
+type counter
+type gauge
+type histogram
+
+val create : unit -> t
+
+val counter : t -> string -> counter
+val incr : ?by:int -> counter -> unit
+val counter_value : counter -> int
+
+val gauge : t -> string -> gauge
+val set_gauge : gauge -> float -> unit
+val gauge_value : gauge -> float
+
+val histogram : t -> string -> histogram
+val observe : histogram -> int -> unit
+val hist_count : histogram -> int
+val hist_values : histogram -> int list
+(** In observation order. *)
+
+val percentile : float -> histogram -> int
+(** Nearest-rank percentile over all observed samples; [0] when empty. *)
+
+val to_json : t -> Json.t
+(** [{"counters":{..},"gauges":{..},"histograms":{name:{"count":..,"min":..,
+    "max":..,"mean":..,"p50":..,"p90":..,"p95":..,"p99":..}}}] with names
+    sorted. *)

@@ -81,6 +81,20 @@ let test_helpers () =
   check_int "p100 is max" 100 (Metrics.percentile 1.0 (List.init 100 (fun i -> i + 1)));
   check_int "singleton" 7 (Metrics.percentile 0.5 [ 7 ])
 
+(* nearest-rank edge cases; Registry and Stats implement the same rule, so
+   the offline JSONL aggregation agrees with these (see test_telemetry) *)
+let test_percentile_edges () =
+  check_int "singleton p0" 7 (Metrics.percentile 0.0 [ 7 ]);
+  check_int "singleton p100" 7 (Metrics.percentile 1.0 [ 7 ]);
+  check_int "singleton p99" 7 (Metrics.percentile 0.99 [ 7 ]);
+  check_int "all-equal p50" 4 (Metrics.percentile 0.5 [ 4; 4; 4; 4 ]);
+  check_int "all-equal p90" 4 (Metrics.percentile 0.9 [ 4; 4; 4; 4 ]);
+  check_int "all-equal p100" 4 (Metrics.percentile 1.0 [ 4; 4; 4; 4 ]);
+  (* rank = ceil(0.9*10) = 9 → the 9th smallest of 0..9 *)
+  check_int "unsorted input" 8 (Metrics.percentile 0.9 [ 9; 1; 5; 2; 8; 3; 7; 4; 6; 0 ]);
+  check_int "two elements p50" 1 (Metrics.percentile 0.5 [ 1; 2 ]);
+  check_int "two elements p51" 2 (Metrics.percentile 0.51 [ 1; 2 ])
+
 let test_timeline_rendering () =
   let h = h () in
   let looking = Obs.make Obs.Looking in
@@ -120,6 +134,8 @@ let suite =
         Alcotest.test_case "inherited meetings are not waits" `Quick
           test_inherited_meeting_not_waiting;
         Alcotest.test_case "helpers" `Quick test_helpers;
+        Alcotest.test_case "percentile nearest-rank edges" `Quick
+          test_percentile_edges;
         Alcotest.test_case "timeline rendering" `Quick test_timeline_rendering;
       ] );
   ]

@@ -226,6 +226,41 @@ let test_trace_convened () =
     "terminated at step 2" [ (2, 0) ] (Snapcc_runtime.Trace.terminated tr);
   check_int "length" 3 (Snapcc_runtime.Trace.length tr)
 
+let test_trace_fault_boundary () =
+  (* a corruption that materializes (or destroys) a meeting must not be
+     reported as a convene/terminate: record_fault resets the baseline *)
+  let h = pair () in
+  let looking = Obs.make Obs.Looking ~pointer:(Some 0) in
+  let waiting = Obs.make Obs.Waiting ~pointer:(Some 0) in
+  let idle = Obs.make Obs.Idle in
+  let tr = Snapcc_runtime.Trace.create h ~initial:[| looking; looking |] in
+  let fake step executed obs =
+    Snapcc_runtime.Trace.record tr
+      { Model.step; selected = List.map fst executed; executed;
+        neutralized = []; round = 0; terminal = false }
+      obs
+  in
+  (* corruption fabricates a full meeting out of thin air... *)
+  Snapcc_runtime.Trace.record_fault tr ~step:0 [| waiting; waiting |];
+  (* ...and the next real step only observes it persisting *)
+  fake 0 [] [| waiting; waiting |];
+  Alcotest.(check (list (pair int int)))
+    "corruption does not fabricate a convene" []
+    (Snapcc_runtime.Trace.convened tr);
+  (* a second corruption wipes the meeting: not a termination either *)
+  Snapcc_runtime.Trace.record_fault tr ~step:1 [| idle; idle |];
+  fake 1 [] [| idle; idle |];
+  Alcotest.(check (list (pair int int)))
+    "corruption does not fabricate a terminate" []
+    (Snapcc_runtime.Trace.terminated tr);
+  (* a real convene after the fault is still detected *)
+  fake 2 [ (0, "Step31"); (1, "Step31") ] [| waiting; waiting |];
+  Alcotest.(check (list (pair int int)))
+    "post-fault convene still detected" [ (2, 0) ]
+    (Snapcc_runtime.Trace.convened tr);
+  check_int "fault entries counted in length" 5
+    (Snapcc_runtime.Trace.length tr)
+
 let suite =
   [ ( "runtime",
       [ Alcotest.test_case "priority: later action wins" `Quick test_priority;
@@ -240,5 +275,7 @@ let suite =
           test_daemons_select_subset;
         Alcotest.test_case "trace convene/terminate detection" `Quick
           test_trace_convened;
+        Alcotest.test_case "trace fault boundaries" `Quick
+          test_trace_fault_boundary;
       ] );
   ]
