@@ -7,7 +7,11 @@
    Part 2 macro-benchmarks the exhaustive model checker (lib/mc) on the
    3-professor conflict triangle: states/second and peak resident states.
 
-   Part 3 runs Bechamel micro-benchmarks — one Test.make per benchmark
+   Part 3 macro-benchmarks the networked runtime (lib/net): forked node
+   processes on a ring behind lossy links, reporting snapshots/s, bytes/s
+   and the end-to-end handoff-latency distribution.
+
+   Part 4 runs Bechamel micro-benchmarks — one Test.make per benchmark
    family — measuring the cost of a simulation step for each algorithm, the
    token substrate, and the exact matching computations behind the
    Theorem 4/5 bounds.
@@ -90,7 +94,97 @@ let run_mc_bench () =
       ("peak_resident_states", Json.Int (Ex.n_configs r));
       ("heap_mb", Json.Float heap_mb) ]
 
-(* ---------- Part 3: Bechamel micro-benchmarks ---------- *)
+(* ---------- Part 3: networked-runtime macro-benchmark ---------- *)
+
+module Net = Snapcc_net
+
+(* End-to-end throughput of the multi-process runtime: one forked OS
+   process per professor, lossy links (drop + delay + dup + corrupt) and a
+   mid-run corruption burst, the same soak the CI job runs.  Snapshots/s
+   and bytes/s count deliveries through the link layer; the handoff
+   latency is wall-clock µs from the link-layer send to the node's
+   [Delivered] acknowledgement, i.e. one full frame round-trip. *)
+let run_net_bench () =
+  let n, steps = if quick then (5, 2_000) else (9, 10_000) in
+  let h = Families.pair_ring n in
+  let plan =
+    { Net.Faults.none with drop = 0.05; delay = 2; dup = 0.02; corrupt = 0.02 }
+  in
+  let cfg =
+    { Net.Orchestrator.algo = "cc1"; seed = 11; init = `Canonical;
+      deliver_bias = 0.5; steps; plan; burst = Some (steps / 2) }
+  in
+  Format.printf "=== networked runtime: cc1 on ring%d, %d steps, faults %a ===@."
+    n steps Net.Faults.pp plan;
+  let r =
+    match
+      Net.Orchestrator.run ~mode:Net.Spawn.Fork
+        ~workload:(Workload.always_requesting h) cfg h
+    with
+    | Ok r -> r
+    | Error e -> failwith e
+  in
+  let lat = r.Net.Orchestrator.latencies_us in
+  let pct q = Snapcc_analysis.Metrics.percentile q lat in
+  let lat_max = List.fold_left max 0 lat in
+  let snapshots_per_s = float_of_int r.delivered /. r.wall_s in
+  let bytes_per_s = float_of_int r.bytes_delivered /. r.wall_s in
+  (* Histogram with fixed upper-bound edges (µs); the overflow bucket
+     catches scheduling hiccups so the counts always sum to [delivered]. *)
+  let edges = [| 50; 100; 250; 500; 1_000; 2_500; 5_000; 10_000; max_int |] in
+  let counts = Array.make (Array.length edges) 0 in
+  List.iter
+    (fun us ->
+      let i = ref 0 in
+      while us > edges.(!i) do incr i done;
+      counts.(!i) <- counts.(!i) + 1)
+    lat;
+  let bucket_label i =
+    if edges.(i) = max_int then ">10000us"
+    else Printf.sprintf "<=%dus" edges.(i)
+  in
+  Format.printf
+    "sent %d  delivered %d  dropped %d (malformed %d)  violations %d@.\
+     snapshots/s %.0f  bytes/s %.0f  wall %.2fs@.\
+     handoff latency p50 %dus  p90 %dus  p99 %dus  max %dus@."
+    r.sent r.delivered r.dropped r.malformed
+    (List.length r.violations) snapshots_per_s bytes_per_s r.wall_s
+    (pct 0.50) (pct 0.90) (pct 0.99) lat_max;
+  Array.iteri
+    (fun i c -> if c > 0 then Format.printf "  %-10s %6d@." (bucket_label i) c)
+    counts;
+  Format.printf "@.";
+  let hist =
+    Array.to_list
+      (Array.mapi
+         (fun i c ->
+           Json.Obj [ ("bucket", Json.String (bucket_label i));
+                      ("count", Json.Int c) ])
+         counts)
+  in
+  Json.Obj
+    [ ("algo", Json.String "cc1");
+      ("topo", Json.String (Printf.sprintf "ring%d" n));
+      ("steps", Json.Int r.steps); ("seed", Json.Int 11);
+      ("faults", Json.String (Format.asprintf "%a" Net.Faults.pp plan));
+      ("burst_at", Json.Int (steps / 2));
+      ("sent", Json.Int r.sent); ("delivered", Json.Int r.delivered);
+      ("dropped", Json.Int r.dropped); ("malformed", Json.Int r.malformed);
+      ("bytes_sent", Json.Int r.bytes_sent);
+      ("bytes_delivered", Json.Int r.bytes_delivered);
+      ("snapshots_per_s", Json.Float snapshots_per_s);
+      ("bytes_per_s", Json.Float bytes_per_s);
+      ("wall_s", Json.Float r.wall_s);
+      ("violations", Json.Int (List.length r.violations));
+      ("stabilized_in",
+       (match r.stabilized_in with Some s -> Json.Int s | None -> Json.Null));
+      ("latency_us",
+       Json.Obj
+         [ ("p50", Json.Int (pct 0.50)); ("p90", Json.Int (pct 0.90));
+           ("p99", Json.Int (pct 0.99)); ("max", Json.Int lat_max) ]);
+      ("latency_histogram", Json.List hist) ]
+
+(* ---------- Part 4: Bechamel micro-benchmarks ---------- *)
 
 open Bechamel
 open Toolkit
@@ -197,6 +291,7 @@ let run_micro_benchmarks () =
 let () =
   let experiments = run_experiments () in
   let mc = run_mc_bench () in
+  let net = run_net_bench () in
   let micro = run_micro_benchmarks () in
   let label = if quick then "quick" else "full" in
   let file = Printf.sprintf "BENCH_%s.json" label in
@@ -207,6 +302,7 @@ let () =
           [ ("mode", Json.String label);
             ("experiments", Json.List experiments);
             ("mc", mc);
+            ("net", net);
             ("micro", Json.List micro) ]));
   output_char oc '\n';
   close_out oc;

@@ -322,16 +322,144 @@ let mp_cmd topo algo_name workload_name steps seed disc random_init bias
   | "cc3" -> let module R = Run (X.Cc3) in R.go ()
   | a -> or_die (Error (Printf.sprintf "mp supports cc1|cc2|cc3, not %S" a))
 
+(* validated argument converters, shared by `ccsim mp' and `ccsim net' *)
+
+let pos_int_conv =
+  let parse s =
+    match int_of_string_opt s with
+    | Some v when v > 0 -> Ok v
+    | _ -> Error (`Msg (Printf.sprintf "expected a positive integer, got %S" s))
+  in
+  Arg.conv ~docv:"N" (parse, Format.pp_print_int)
+
+let probability_conv =
+  let parse s =
+    match float_of_string_opt s with
+    | Some f when f >= 0. && f <= 1. -> Ok f
+    | _ ->
+      Error (`Msg (Printf.sprintf "expected a probability in [0,1], got %S" s))
+  in
+  Arg.conv ~docv:"P" (parse, fun ppf f -> Format.fprintf ppf "%g" f)
+
+let checked_steps_arg =
+  Arg.(value & opt pos_int_conv 10_000
+       & info [ "steps" ] ~docv:"N" ~doc:"Step horizon (positive).")
+
 let bias_arg =
-  Arg.(value & opt float 0.5 & info [ "deliver-bias" ] ~docv:"P"
-         ~doc:"Probability a step delivers a message rather than activating \
-               a process (lower = more staleness).")
+  Arg.(value & opt probability_conv 0.5
+       & info [ "deliver-bias" ] ~docv:"P"
+           ~doc:"Probability in [0,1] that a step delivers a message rather \
+                 than activating a process (lower = more staleness).")
 
 let mp_term =
   Term.(
-    const mp_cmd $ topology_arg $ algo_arg $ workload_arg $ steps_arg
+    const mp_cmd $ topology_arg $ algo_arg $ workload_arg $ checked_steps_arg
     $ seed_arg $ disc_arg $ random_init_arg $ bias_arg $ emit_trace_arg
     $ emit_json_arg)
+
+(* ---- net (networked multi-process runtime) ---- *)
+
+module Net = Snapcc_net
+
+let faults_conv =
+  let parse s =
+    match Net.Faults.parse s with Ok p -> Ok p | Error e -> Error (`Msg e)
+  in
+  Arg.conv ~docv:"SPEC" (parse, Net.Faults.pp)
+
+let faults_arg =
+  Arg.(value & opt faults_conv Net.Faults.none
+       & info [ "faults" ] ~docv:"SPEC"
+           ~doc:"Fault plan for the links, netem style: comma-separated \
+                 drop=P, delay=STEPS, dup=P, reorder=P, corrupt=P, \
+                 partition=FROM-TO (e.g. \
+                 drop=0.05,delay=2,partition=100-400).  Deterministic \
+                 under --seed.")
+
+let net_nprocs_arg =
+  Arg.(value & opt (some pos_int_conv) None
+       & info [ "n" ] ~docv:"N"
+           ~doc:"Shorthand for --topology ring<N> (N node processes).")
+
+let burst_arg =
+  Arg.(value & opt (some int) None
+       & info [ "burst-at" ] ~docv:"STEP"
+           ~doc:"Soak mode: inject a corruption burst (corrupt half the \
+                 nodes: cores, caches and in-flight snapshots) at STEP and \
+                 report the time to stabilize.")
+
+let soak_arg =
+  Arg.(value & flag
+       & info [ "soak" ]
+           ~doc:"Shorthand for --burst-at <steps/2>.")
+
+let fork_arg =
+  Arg.(value & flag
+       & info [ "fork" ]
+           ~doc:"Fork the node processes from this one (socketpairs) \
+                 instead of spawning `ccsim node' executables over TCP \
+                 loopback.")
+
+let net_cmd topo nprocs algo_name workload_name steps seed disc random_init
+    bias faults burst soak fork emit_trace emit_json emit_catapult =
+  let h =
+    match nprocs with
+    | Some k -> or_die (topology ("ring" ^ string_of_int k))
+    | None -> or_die (topology topo)
+  in
+  let workload = or_die (workload workload_name ~disc h) in
+  let burst =
+    match burst with
+    | Some _ as b -> b
+    | None -> if soak then Some (steps / 2) else None
+  in
+  let ring_capacity =
+    if emit_json = None then 0 else (steps * ((6 * H.n h) + 16)) + 64
+  in
+  let telemetry, ring, finish_telemetry =
+    make_hub ~ring_capacity ~emit_trace ~emit_catapult ()
+  in
+  let mode =
+    if fork then Net.Spawn.Fork else Net.Spawn.Exec Sys.executable_name
+  in
+  let cfg =
+    { Net.Orchestrator.algo = algo_name; seed;
+      init = (if random_init then `Random else `Canonical);
+      deliver_bias = bias; steps; plan = faults; burst }
+  in
+  let r = or_die (Net.Orchestrator.run ?telemetry ~mode ~workload cfg h) in
+  (match (emit_json, ring) with
+   | Some file, Some rg -> write_json file (ring_summary rg)
+   | _ -> ());
+  finish_telemetry ();
+  Format.printf "%s over %d node processes, faults: %a@." algo_name (H.n h)
+    Net.Faults.pp faults;
+  Format.printf "%a@." Net.Orchestrator.pp_result r;
+  (match r.Net.Orchestrator.latencies_us with
+   | [] -> ()
+   | l ->
+     let pc q = Snapcc_analysis.Metrics.percentile q l in
+     Format.printf
+       "delivery latency: p50 %dus, p90 %dus, p99 %dus, max %dus (%d samples)@."
+       (pc 0.50) (pc 0.90) (pc 0.99)
+       (Snapcc_analysis.Metrics.maximum l)
+       (List.length l));
+  if r.Net.Orchestrator.violations <> [] then begin
+    Format.printf "@.violations:@.";
+    List.iter
+      (fun v -> Format.printf "  %a@." Spec.pp_violation v)
+      r.Net.Orchestrator.violations
+  end;
+  Format.printf "@.final configuration:@.%a@." (Obs.pp_snapshot h)
+    r.Net.Orchestrator.final_obs;
+  if r.Net.Orchestrator.violations <> [] then exit 1
+
+let net_term =
+  Term.(
+    const net_cmd $ topology_arg $ net_nprocs_arg $ algo_arg $ workload_arg
+    $ checked_steps_arg $ seed_arg $ disc_arg $ random_init_arg $ bias_arg
+    $ faults_arg $ burst_arg $ soak_arg $ fork_arg $ emit_trace_arg
+    $ emit_json_arg $ emit_catapult_arg)
 
 (* ---- bounds ---- *)
 
@@ -889,6 +1017,12 @@ let cmds =
       (Cmd.info "mp"
          ~doc:"Simulate over the message-passing emulation (Section 7 future work)")
       mp_term;
+    Cmd.v
+      (Cmd.info "net"
+         ~doc:"Run the algorithm as real node processes over fault-injecting \
+               loopback links, with a live monitoring observer.  A zero-fault \
+               run replays `ccsim mp' of the same seed decision for decision.")
+      net_term;
     Cmd.v (Cmd.info "experiment" ~doc:"Run one of the paper's experiments") experiment_term;
     Cmd.v
       (Cmd.info "lint"
@@ -918,7 +1052,34 @@ let cmds =
     Cmd.v (Cmd.info "list" ~doc:"List topologies, algorithms and experiments") list_term;
   ]
 
+(* Hidden entry point: `ccsim node --id I --connect PORT` is what `ccsim
+   net' spawns per paper process.  Intercepted before cmdliner so it never
+   appears in the help surface. *)
+let node_main () =
+  let id = ref (-1) in
+  let port = ref (-1) in
+  let argc = Array.length Sys.argv in
+  let rec parse i =
+    if i + 1 < argc then begin
+      (match Sys.argv.(i) with
+       | "--id" -> id := int_of_string Sys.argv.(i + 1)
+       | "--connect" -> port := int_of_string Sys.argv.(i + 1)
+       | a -> or_die (Error (Printf.sprintf "node: unknown argument %S" a)));
+      parse (i + 2)
+    end
+  in
+  (match parse 2 with
+   | () -> ()
+   | exception Failure _ ->
+     or_die (Error "node: --id and --connect take integers"));
+  if !id < 0 || !port <= 0 then
+    or_die (Error "node: --id ID and --connect PORT are required");
+  let fd = Net.Spawn.connect ~port:!port in
+  Net.Node.serve ~id:!id fd;
+  exit 0
+
 let () =
+  if Array.length Sys.argv >= 2 && Sys.argv.(1) = "node" then node_main ();
   let info =
     Cmd.info "ccsim" ~version:"1.0.0"
       ~doc:"Snap-stabilizing committee coordination simulator"

@@ -1,53 +1,42 @@
 module H = Snapcc_hypergraph.Hypergraph
 module Model = Snapcc_runtime.Model
 module Tele = Snapcc_telemetry
+module Sem = Mp_semantics
 
 module Make (A : Model.ALGO) = struct
+  module View = Mp_view.Make (A)
+
   type event =
     | Activated of int * string option
     | Delivered of int * int
 
   type t = {
     h : H.t;
-    rng : Random.State.t;
-    deliver_bias : float;
+    sem : Sem.t;  (* scheduler + rng: the shared transformation semantics *)
     telemetry : Tele.Hub.t option;
-    states : A.state array;  (* the true cores *)
-    cache : A.state array array;  (* cache.(p).(i): last received from i-th neighbor *)
+    views : View.t array;  (* per-process core + per-neighbor cache *)
     chan : A.state option array array;  (* chan.(p).(i): pending from i-th neighbor *)
-    cache_age : int array array;  (* steps since cache.(p).(i) was refreshed *)
-    actions : A.state Model.action array;
-    idle_for : int array;  (* activation starvation counter per process *)
-    mutable steps : int;
     mutable sent : int;
     mutable delivered : int;
-    mutable worst_staleness : int;
   }
 
-  (* position of vertex [q] in [p]'s sorted neighbor array *)
-  let slot t p q =
-    let nbrs = H.neighbors t.h p in
-    let rec find i =
-      if i >= Array.length nbrs then
-        invalid_arg (Printf.sprintf "mp: %d is not a neighbor of %d" q p)
-      else if nbrs.(i) = q then i
-      else find (i + 1)
-    in
-    find 0
-
-  let create ?(seed = 0) ?(init = `Canonical) ?(deliver_bias = 0.5) ?telemetry h =
+  let create ?(seed = 0) ?(init = `Canonical) ?(deliver_bias = 0.5) ?telemetry h
+      =
     let n = H.n h in
-    let rng = Random.State.make [| seed; n; 0x3b |] in
+    let sem = Sem.create ~deliver_bias ~seed h in
+    let rng = Sem.rng sem in
     let mk p = match init with `Canonical -> A.init h p | `Random -> A.random_init h rng p in
     let states = Array.init n mk in
-    let cache =
+    let views =
       Array.init n (fun p ->
-          Array.map
-            (fun q ->
-              match init with
-              | `Canonical -> states.(q)
-              | `Random -> A.random_init h rng q)
-            (H.neighbors h p))
+          View.create h ~self:p ~core:states.(p)
+            ~cache:
+              (Array.map
+                 (fun q ->
+                   match init with
+                   | `Canonical -> states.(q)
+                   | `Random -> A.random_init h rng q)
+                 (H.neighbors h p)))
     in
     let chan =
       Array.init n (fun p ->
@@ -59,29 +48,18 @@ module Make (A : Model.ALGO) = struct
                 if Random.State.bool rng then Some (A.random_init h rng q) else None)
             (H.neighbors h p))
     in
-    {
-      h;
-      rng;
-      deliver_bias;
-      telemetry;
-      states;
-      cache;
-      chan;
-      cache_age = Array.init n (fun p -> Array.make (H.graph_degree h p) 0);
-      actions = Array.of_list (A.actions h);
-      idle_for = Array.make n 0;
-      steps = 0;
-      sent = 0;
-      delivered = 0;
-      worst_staleness = 0;
-    }
+    { h; sem; telemetry; views; chan; sent = 0; delivered = 0 }
 
   let hypergraph t = t.h
-  let obs t = Array.init (H.n t.h) (A.observe t.h t.states)
-  let steps_taken t = t.steps
+
+  let obs t =
+    let cores = Array.map View.core t.views in
+    Array.init (H.n t.h) (A.observe t.h cores)
+
+  let steps_taken t = Sem.steps t.sem
   let messages_delivered t = t.delivered
   let messages_sent t = t.sent
-  let max_staleness t = t.worst_staleness
+  let max_staleness t = Sem.max_staleness t.sem
 
   let in_flight t =
     Array.fold_left
@@ -89,57 +67,33 @@ module Make (A : Model.ALGO) = struct
         Array.fold_left (fun a m -> if m = None then a else a + 1) acc row)
       0 t.chan
 
-  (* p's view: its own true core, neighbors through the cache.  Reading a
-     non-neighbor is impossible in the message-passing model. *)
-  let read_for t p q =
-    if q = p then t.states.(p) else t.cache.(p).(slot t p q)
-
-  let ctx_for t ~inputs p : A.state Model.ctx =
-    { Model.h = t.h; inputs; read = read_for t p; self = p }
-
-  let priority_action t ~inputs p =
-    let ctx = ctx_for t ~inputs p in
-    let rec scan i =
-      if i < 0 then None
-      else if t.actions.(i).Model.guard ctx then Some i
-      else scan (i - 1)
-    in
-    scan (Array.length t.actions - 1)
-
   let emit t ev =
     match t.telemetry with None -> () | Some hub -> Tele.Hub.emit hub ev
 
   let broadcast t p =
     Array.iteri
       (fun _i q ->
-        t.chan.(q).(slot t q p) <- Some t.states.(p);
+        t.chan.(q).(View.slot t.views.(q) p) <- Some (View.core t.views.(p));
         t.sent <- t.sent + 1)
       (H.neighbors t.h p)
 
   let activate t ~inputs p =
-    let label =
-      match priority_action t ~inputs p with
-      | None -> None
-      | Some i ->
-        let ctx = ctx_for t ~inputs p in
-        t.states.(p) <- t.actions.(i).Model.apply ctx;
-        Some t.actions.(i).Model.label
-    in
+    let label = View.activate t.views.(p) ~inputs in
     broadcast t p;
-    t.idle_for.(p) <- 0;
-    emit t (Tele.Event.Mp_activated { step = t.steps; p; label });
+    Sem.on_activated t.sem p;
+    emit t (Tele.Event.Mp_activated { step = Sem.steps t.sem; p; label });
     Activated (p, label)
 
   let deliver t p i =
     (match t.chan.(p).(i) with
      | Some msg ->
-       t.cache.(p).(i) <- msg;
-       t.cache_age.(p).(i) <- 0;
+       View.refresh t.views.(p) ~slot:i msg;
+       Sem.on_cache_refresh t.sem ~dst:p ~slot:i;
        t.chan.(p).(i) <- None;
        t.delivered <- t.delivered + 1
      | None -> ());
     let src = (H.neighbors t.h p).(i) in
-    emit t (Tele.Event.Mp_delivered { step = t.steps; dst = p; src });
+    emit t (Tele.Event.Mp_delivered { step = Sem.steps t.sem; dst = p; src });
     Delivered (p, src)
 
   let pending t =
@@ -150,62 +104,26 @@ module Make (A : Model.ALGO) = struct
       t.chan;
     !acc
 
-  (* fairness bounds: a process idle for too long is force-activated; a
-     cache entry stale for too long forces a delivery/refresh *)
-  let fairness_bound t = 16 * H.n t.h
-
   let step t ~inputs =
-    t.steps <- t.steps + 1;
-    Array.iter
-      (fun row ->
-        Array.iteri
-          (fun i _ ->
-            row.(i) <- row.(i) + 1;
-            if row.(i) > t.worst_staleness then t.worst_staleness <- row.(i))
-          row)
-      t.cache_age;
-    let n = H.n t.h in
-    for p = 0 to n - 1 do
-      t.idle_for.(p) <- t.idle_for.(p) + 1
-    done;
-    (* forced events first *)
-    let starving = ref None in
-    for p = n - 1 downto 0 do
-      if t.idle_for.(p) >= fairness_bound t then starving := Some p
-    done;
-    let stale = ref None in
-    Array.iteri
-      (fun p row ->
-        Array.iteri
-          (fun i m ->
-            if m <> None && t.cache_age.(p).(i) >= fairness_bound t then
-              stale := Some (p, i))
-          row)
-      t.chan;
-    match (!starving, !stale) with
-    | Some p, _ -> activate t ~inputs p
-    | None, Some (p, i) -> deliver t p i
-    | None, None ->
-      let pend = pending t in
-      if pend <> [] && Random.State.float t.rng 1.0 < t.deliver_bias then begin
-        let p, i = List.nth pend (Random.State.int t.rng (List.length pend)) in
-        deliver t p i
-      end
-      else activate t ~inputs (Random.State.int t.rng n)
+    Sem.begin_step t.sem;
+    match Sem.decide t.sem ~pending:(pending t) with
+    | Sem.Activate p -> activate t ~inputs p
+    | Sem.Deliver (p, i) -> deliver t p i
 
   let corrupt t ~victims =
-    emit t (Tele.Event.Fault { step = t.steps; victims });
+    let rng = Sem.rng t.sem in
+    emit t (Tele.Event.Fault { step = Sem.steps t.sem; victims });
     List.iter
       (fun p ->
         if p < 0 || p >= H.n t.h then invalid_arg "mp corrupt: bad victim";
-        t.states.(p) <- A.random_init t.h t.rng p;
+        View.set_core t.views.(p) (A.random_init t.h rng p);
         Array.iteri
-          (fun i q -> t.cache.(p).(i) <- A.random_init t.h t.rng q)
+          (fun i q -> View.refresh t.views.(p) ~slot:i (A.random_init t.h rng q))
           (H.neighbors t.h p);
         Array.iteri
           (fun i q ->
-            if Random.State.bool t.rng then
-              t.chan.(p).(i) <- Some (A.random_init t.h t.rng q))
+            if Random.State.bool rng then
+              t.chan.(p).(i) <- Some (A.random_init t.h rng q))
           (H.neighbors t.h p))
       victims
 end

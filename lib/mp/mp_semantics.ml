@@ -1,0 +1,75 @@
+module H = Snapcc_hypergraph.Hypergraph
+
+type decision =
+  | Activate of int
+  | Deliver of int * int
+
+type t = {
+  n : int;
+  rng : Random.State.t;
+  deliver_bias : float;
+  idle_for : int array;  (* activation starvation counter per process *)
+  cache_age : int array array;  (* steps since cache.(p).(i) was refreshed *)
+  mutable steps : int;
+  mutable worst_staleness : int;
+}
+
+let create ?(deliver_bias = 0.5) ~seed h =
+  let n = H.n h in
+  {
+    n;
+    (* the historical seeding vector of Mp_engine — part of the shared
+       semantics, since replaying a run means replaying these draws *)
+    rng = Random.State.make [| seed; n; 0x3b |];
+    deliver_bias;
+    idle_for = Array.make n 0;
+    cache_age = Array.init n (fun p -> Array.make (H.graph_degree h p) 0);
+    steps = 0;
+    worst_staleness = 0;
+  }
+
+let rng t = t.rng
+let steps t = t.steps
+let max_staleness t = t.worst_staleness
+let fairness_bound t = 16 * t.n
+
+let begin_step t =
+  t.steps <- t.steps + 1;
+  Array.iter
+    (fun row ->
+      Array.iteri
+        (fun i _ ->
+          row.(i) <- row.(i) + 1;
+          if row.(i) > t.worst_staleness then t.worst_staleness <- row.(i))
+        row)
+    t.cache_age;
+  for p = 0 to t.n - 1 do
+    t.idle_for.(p) <- t.idle_for.(p) + 1
+  done
+
+let decide t ~pending =
+  let bound = fairness_bound t in
+  (* forced events first: the lowest starving process, else the greatest
+     stale pending link ([pending] is descending, so the first match) *)
+  let starving = ref None in
+  for p = t.n - 1 downto 0 do
+    if t.idle_for.(p) >= bound then starving := Some p
+  done;
+  match !starving with
+  | Some p -> Activate p
+  | None -> (
+    match
+      List.find_opt (fun (p, i) -> t.cache_age.(p).(i) >= bound) pending
+    with
+    | Some (p, i) -> Deliver (p, i)
+    | None ->
+      if pending <> [] && Random.State.float t.rng 1.0 < t.deliver_bias then begin
+        let p, i =
+          List.nth pending (Random.State.int t.rng (List.length pending))
+        in
+        Deliver (p, i)
+      end
+      else Activate (Random.State.int t.rng t.n))
+
+let on_activated t p = t.idle_for.(p) <- 0
+let on_cache_refresh t ~dst ~slot = t.cache_age.(dst).(slot) <- 0

@@ -1,0 +1,61 @@
+(** The scheduler half of the state-dissemination transformation, factored
+    out of {!Mp_engine} so that the in-process emulation and the networked
+    runtime ({!Snapcc_net}) share {e exactly} the same semantics: same
+    fairness bounds, same staleness accounting, and — decision for decision
+    — the same stream of RNG draws, so a fault-free networked run replays
+    an [Mp_engine] run of the same seed event for event.
+
+    One instance owns the run's random state ({!rng}: engines draw their
+    random initial states and fault values from it, which is part of the
+    shared semantics), the per-process activation-starvation counters and
+    the per-link cache-age counters.  Each scheduler step either
+    {e activates} a process (it executes its highest-priority enabled
+    action on its possibly-stale view and re-broadcasts its state) or
+    {e delivers} one pending message (refreshing the receiver's cache).
+    Fairness: a process idle for [16 n] steps is force-activated; a pending
+    message whose target cache entry is [16 n] steps old is
+    force-delivered. *)
+
+type t
+
+type decision =
+  | Activate of int  (** process index *)
+  | Deliver of int * int  (** receiver, slot in its sorted neighbor array *)
+
+val create :
+  ?deliver_bias:float ->
+  seed:int ->
+  Snapcc_hypergraph.Hypergraph.t ->
+  t
+(** [deliver_bias] (default 0.5) is the probability that a step delivers a
+    pending message rather than activating a process. *)
+
+val rng : t -> Random.State.t
+(** The run's single random state.  Initialization and fault injection must
+    draw from it (in a fixed order) for two runs of the same seed to make
+    the same decisions. *)
+
+val fairness_bound : t -> int
+
+val begin_step : t -> unit
+(** Open a scheduler step: ages every cache entry and every activation
+    counter, and updates the worst-staleness watermark. *)
+
+val decide : t -> pending:(int * int) list -> decision
+(** The decision for the step just opened.  [pending] lists the links
+    (receiver, slot) holding a deliverable message, in the order
+    {!Mp_engine} builds it (descending lexicographic); forced events are
+    checked first, then the RNG chooses delivery vs activation. *)
+
+val on_activated : t -> int -> unit
+(** Record that the process was activated (resets its starvation
+    counter). *)
+
+val on_cache_refresh : t -> dst:int -> slot:int -> unit
+(** Record that the receiver's cache entry was refreshed by a delivery
+    (resets its age). *)
+
+val steps : t -> int
+val max_staleness : t -> int
+(** Largest number of steps any cache entry has gone without refresh over
+    the whole run. *)

@@ -1,0 +1,57 @@
+module H = Snapcc_hypergraph.Hypergraph
+module Model = Snapcc_runtime.Model
+
+module Make (A : Snapcc_runtime.Model.ALGO) = struct
+  type t = {
+    h : H.t;
+    self : int;
+    mutable core : A.state;
+    cache : A.state array;  (* cache.(i): last received from i-th neighbor *)
+    actions : A.state Model.action array;
+  }
+
+  let create h ~self ~core ~cache =
+    if Array.length cache <> H.graph_degree h self then
+      invalid_arg "Mp_view.create: cache size must equal the graph degree";
+    { h; self; core; cache; actions = Array.of_list (A.actions h) }
+
+  let core t = t.core
+  let set_core t s = t.core <- s
+  let cache t i = t.cache.(i)
+  let refresh t ~slot s = t.cache.(slot) <- s
+  let degree t = Array.length t.cache
+
+  (* position of vertex [q] in [self]'s sorted neighbor array *)
+  let slot t q =
+    let nbrs = H.neighbors t.h t.self in
+    let rec find i =
+      if i >= Array.length nbrs then
+        invalid_arg
+          (Printf.sprintf "mp: %d is not a neighbor of %d" q t.self)
+      else if nbrs.(i) = q then i
+      else find (i + 1)
+    in
+    find 0
+
+  let read t q = if q = t.self then t.core else t.cache.(slot t q)
+
+  let ctx t ~inputs : A.state Model.ctx =
+    { Model.h = t.h; inputs; read = read t; self = t.self }
+
+  let priority_action t ~inputs =
+    let ctx = ctx t ~inputs in
+    let rec scan i =
+      if i < 0 then None
+      else if t.actions.(i).Model.guard ctx then Some i
+      else scan (i - 1)
+    in
+    scan (Array.length t.actions - 1)
+
+  let activate t ~inputs =
+    match priority_action t ~inputs with
+    | None -> None
+    | Some i ->
+      let ctx = ctx t ~inputs in
+      t.core <- t.actions.(i).Model.apply ctx;
+      Some t.actions.(i).Model.label
+end

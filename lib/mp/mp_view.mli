@@ -1,0 +1,47 @@
+(** The per-process half of the state-dissemination transformation: one
+    process's true core plus its cache of the last state received from each
+    neighbor, and the evaluation of the algorithm's prioritized guarded
+    actions against that (possibly stale) view.
+
+    Shared verbatim between the in-process emulation ({!Mp_engine}) and the
+    networked node runtime ({!Snapcc_net}): both activate a process by
+    calling {!activate}, which scans the actions in descending priority
+    (last in code order first), executes the first enabled one against the
+    view, and replaces the core — exactly the §2.2 semantics lifted to
+    message passing. *)
+
+module Make (A : Snapcc_runtime.Model.ALGO) : sig
+  type t
+
+  val create :
+    Snapcc_hypergraph.Hypergraph.t ->
+    self:int ->
+    core:A.state ->
+    cache:A.state array ->
+    t
+  (** [cache] is indexed by the position of each neighbor in [self]'s
+      sorted neighbor array ({e slot}); it must have exactly
+      [graph_degree self] entries. *)
+
+  val core : t -> A.state
+  val set_core : t -> A.state -> unit
+  val cache : t -> int -> A.state
+  (** By slot. *)
+
+  val refresh : t -> slot:int -> A.state -> unit
+  val degree : t -> int
+
+  val slot : t -> int -> int
+  (** Position of a neighbor vertex in the sorted neighbor array; raises
+      [Invalid_argument] for a non-neighbor. *)
+
+  val read : t -> int -> A.state
+  (** The process's view: its own true core; neighbors through the cache.
+      Reading a non-neighbor is impossible in the message-passing model
+      (raises [Invalid_argument]). *)
+
+  val activate : t -> inputs:Snapcc_runtime.Model.inputs -> string option
+  (** Execute the highest-priority enabled action against the view and
+      replace the core with its result; [None] (and no state change) when
+      nothing is enabled on the view. *)
+end

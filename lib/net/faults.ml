@@ -1,0 +1,102 @@
+type plan = {
+  drop : float;
+  delay : int;
+  dup : float;
+  reorder : float;
+  corrupt : float;
+  partition : (int * int) option;
+}
+
+let none =
+  { drop = 0.; delay = 0; dup = 0.; reorder = 0.; corrupt = 0.; partition = None }
+
+let is_pure p = p.delay = 0 && p.dup = 0. && p.reorder = 0.
+
+let parse_prob key v =
+  match float_of_string_opt v with
+  | Some f when f >= 0. && f <= 1. -> Ok f
+  | _ -> Error (Printf.sprintf "%s must be a probability in [0,1], got %S" key v)
+
+let parse spec =
+  let ( let* ) r f = Result.bind r f in
+  let clause plan kv =
+    match String.index_opt kv '=' with
+    | None -> Error (Printf.sprintf "expected key=value, got %S" kv)
+    | Some i -> (
+      let key = String.sub kv 0 i in
+      let v = String.sub kv (i + 1) (String.length kv - i - 1) in
+      match key with
+      | "drop" ->
+        let* f = parse_prob key v in
+        Ok { plan with drop = f }
+      | "dup" ->
+        let* f = parse_prob key v in
+        Ok { plan with dup = f }
+      | "reorder" ->
+        let* f = parse_prob key v in
+        Ok { plan with reorder = f }
+      | "corrupt" ->
+        let* f = parse_prob key v in
+        Ok { plan with corrupt = f }
+      | "delay" -> (
+        match int_of_string_opt v with
+        | Some d when d >= 0 -> Ok { plan with delay = d }
+        | _ -> Error (Printf.sprintf "delay must be a non-negative integer, got %S" v))
+      | "partition" -> (
+        match String.index_opt v '-' with
+        | None -> Error (Printf.sprintf "partition expects FROM-TO, got %S" v)
+        | Some j -> (
+          let a = String.sub v 0 j in
+          let b = String.sub v (j + 1) (String.length v - j - 1) in
+          match (int_of_string_opt a, int_of_string_opt b) with
+          | Some a, Some b when 0 <= a && a < b ->
+            Ok { plan with partition = Some (a, b) }
+          | _ ->
+            Error
+              (Printf.sprintf "partition expects 0 <= FROM < TO, got %S" v)))
+      | _ -> Error (Printf.sprintf "unknown fault key %S" key))
+  in
+  let rec go plan = function
+    | [] -> Ok plan
+    | kv :: rest ->
+      let* plan = clause plan kv in
+      go plan rest
+  in
+  String.split_on_char ',' (String.trim spec)
+  |> List.map String.trim
+  |> List.filter (fun s -> s <> "")
+  |> go none
+
+let pp ppf p =
+  if p = none then Format.fprintf ppf "none"
+  else begin
+    let sep = ref false in
+    let item fmt =
+      Format.kasprintf
+        (fun s ->
+          if !sep then Format.pp_print_string ppf ",";
+          sep := true;
+          Format.pp_print_string ppf s)
+        fmt
+    in
+    if p.drop > 0. then item "drop=%g" p.drop;
+    if p.delay > 0 then item "delay=%d" p.delay;
+    if p.dup > 0. then item "dup=%g" p.dup;
+    if p.reorder > 0. then item "reorder=%g" p.reorder;
+    if p.corrupt > 0. then item "corrupt=%g" p.corrupt;
+    match p.partition with
+    | Some (a, b) -> item "partition=%d-%d" a b
+    | None -> ()
+  end
+
+let partitioned plan ~step ~n ~src ~dst =
+  match plan.partition with
+  | None -> false
+  | Some (a, b) ->
+    step >= a && step < b
+    && n >= 2
+    && let half = n / 2 in
+       src < half <> (dst < half)
+
+let link_rng ~seed ~src ~dst =
+  Random.State.make [| seed; src; dst; 0x5ead |]

@@ -1,0 +1,51 @@
+(** The netem-style fault plan of the link layer.
+
+    A plan is parsed from the CLI's [--faults] spec, a comma-separated
+    list of [key=value] clauses:
+
+    {v
+    drop=0.05          per-snapshot loss probability
+    delay=2            mean extra delivery delay, in scheduler steps
+    dup=0.01           duplication probability
+    reorder=0.25       probability a delivery picks a random queued
+                       snapshot instead of the oldest
+    corrupt=0.02       probability a delivered frame's bytes are flipped
+                       (the receiver's strict decoder then rejects it)
+    partition=100-400  steps [100,400): links between the two halves of
+                       the node range are severed, then heal
+    v}
+
+    All randomness is drawn from per-link seeded generators
+    ({!link_rng}), never from the scheduler's generator — so a fault plan
+    perturbs message fate without changing the scheduler's decision
+    sequence, and the whole run stays a deterministic function of
+    [--seed]. *)
+
+type plan = {
+  drop : float;
+  delay : int;
+  dup : float;
+  reorder : float;
+  corrupt : float;
+  partition : (int * int) option;  (** step interval [a, b) *)
+}
+
+val none : plan
+
+val is_pure : plan -> bool
+(** No delay, duplication or reordering: links keep the single-slot
+    coalescing semantics of [Mp_engine] (drop/corrupt/partition may still
+    be active — those only remove messages). *)
+
+val parse : string -> (plan, string) result
+(** Parse a [--faults] spec; [""] is {!none}. *)
+
+val pp : Format.formatter -> plan -> unit
+
+val partitioned : plan -> step:int -> n:int -> src:int -> dst:int -> bool
+(** Whether the directed link [src → dst] is severed at [step]: the
+    partition window cuts every link between nodes [0 .. n/2-1] and
+    [n/2 .. n-1]. *)
+
+val link_rng : seed:int -> src:int -> dst:int -> Random.State.t
+(** The deterministic per-directed-link fault generator. *)

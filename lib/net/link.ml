@@ -1,0 +1,85 @@
+type entry = {
+  state : string;
+  sent_step : int;
+  sent_at : float;
+  eligible_at : int;
+  corrupt : bool;
+}
+
+(* Oldest entry first; the queue never exceeds [capacity]. *)
+type t = { src : int; rng : Random.State.t; mutable q : entry list }
+
+let capacity = 8
+
+let create ~src ~dst ~seed = { src; rng = Faults.link_rng ~seed ~src ~dst; q = [] }
+
+let src t = t.src
+let size t = List.length t.q
+
+type send_result = { copies : int; evicted : int }
+
+let draw t p = p > 0. && Random.State.float t.rng 1.0 < p
+
+let enqueue t entry =
+  let evicted = ref 0 in
+  (if List.length t.q >= capacity then
+     match t.q with
+     | _ :: rest ->
+       incr evicted;
+       t.q <- rest
+     | [] -> ());
+  t.q <- t.q @ [ entry ];
+  !evicted
+
+let send t ~(plan : Faults.plan) ~step ~now ~state =
+  if draw t plan.drop then { copies = 0; evicted = 0 }
+  else begin
+    (* Pure links coalesce: the fresh snapshot supersedes anything in
+       flight, exactly like [Mp_engine]'s single-slot channels. *)
+    if Faults.is_pure plan then t.q <- [];
+    let mk () =
+      let lag =
+        if plan.delay = 0 then 0 else Random.State.int t.rng ((2 * plan.delay) + 1)
+      in
+      {
+        state;
+        sent_step = step;
+        sent_at = now;
+        eligible_at = step + lag;
+        corrupt = draw t plan.corrupt;
+      }
+    in
+    let copies = if draw t plan.dup then 2 else 1 in
+    let evicted = ref 0 in
+    for _ = 1 to copies do
+      evicted := !evicted + enqueue t (mk ())
+    done;
+    { copies; evicted = !evicted }
+  end
+
+let preload t ~step ~state =
+  t.q <- [];
+  t.q <-
+    [ { state; sent_step = step; sent_at = Unix.gettimeofday ();
+        eligible_at = step; corrupt = false } ]
+
+let eligible t ~step = List.exists (fun e -> e.eligible_at <= step) t.q
+
+let pop t ~(plan : Faults.plan) ~step =
+  let ready, waiting = List.partition (fun e -> e.eligible_at <= step) t.q in
+  match ready with
+  | [] -> None
+  | [ e ] ->
+    t.q <- waiting;
+    Some e
+  | _ :: _ ->
+    let idx =
+      if plan.reorder > 0. && Random.State.float t.rng 1.0 < plan.reorder then
+        Random.State.int t.rng (List.length ready)
+      else 0
+    in
+    let e = List.nth ready idx in
+    t.q <- List.filteri (fun i _ -> i <> idx) ready @ waiting;
+    Some e
+
+let clear t = t.q <- []

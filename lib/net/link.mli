@@ -1,0 +1,54 @@
+(** One directed fault-injecting link between two nodes.
+
+    Fault-free (pure) plans keep the exact single-slot {e coalescing}
+    semantics of the state-dissemination transformation in [Mp_engine]: a
+    new snapshot overwrites whatever was in flight, so a zero-fault
+    networked run is decision-for-decision equivalent to the in-process
+    message-passing engine.  Once the plan introduces delay, duplication
+    or reordering, the link switches to a bounded FIFO queue of capacity
+    {!capacity}; overflow evicts the oldest snapshot (the coalescing
+    limit case). *)
+
+type entry = {
+  state : string;  (** marshalled snapshot *)
+  sent_step : int;
+  sent_at : float;  (** wall clock, for latency accounting only *)
+  eligible_at : int;  (** first scheduler step at which it may deliver *)
+  corrupt : bool;  (** the fault injector will flip frame bytes on delivery *)
+}
+
+type t
+
+val capacity : int
+
+val create : src:int -> dst:int -> seed:int -> t
+(** The link's fault generator is {!Faults.link_rng}[ ~seed ~src ~dst]. *)
+
+val src : t -> int
+val size : t -> int
+
+type send_result = {
+  copies : int;  (** snapshots enqueued (0 = random loss; 2 = duplicated) *)
+  evicted : int;  (** oldest entries dropped by queue overflow *)
+}
+
+val send :
+  t -> plan:Faults.plan -> step:int -> now:float -> state:string -> send_result
+(** Pass the snapshot through the fault plan and enqueue the surviving
+    copies.  Partition filtering is the orchestrator's job (it is a
+    global property of the step, not of one link). *)
+
+val preload : t -> step:int -> state:string -> unit
+(** Enqueue a snapshot without consulting the fault plan — used to seed
+    in-flight messages for randomised initial configurations and
+    corruption bursts, mirroring [Mp_engine]'s channel initialisation. *)
+
+val eligible : t -> step:int -> bool
+(** Some queued snapshot may deliver at [step]. *)
+
+val pop : t -> plan:Faults.plan -> step:int -> entry option
+(** Remove and return the snapshot to deliver at [step]: the oldest
+    eligible one, or — with probability [plan.reorder], when several are
+    eligible — a uniformly random eligible one. *)
+
+val clear : t -> unit

@@ -1,0 +1,17 @@
+module Cc1 = Snapcc_core.Cc1.Std (Snapcc_token.Token_tree)
+module Cc2 = Snapcc_core.Cc23.Cc2_std (Snapcc_token.Token_tree)
+module Cc3 = Snapcc_core.Cc23.Cc3_std (Snapcc_token.Token_tree)
+
+type entry = {
+  name : string;
+  tag : int;
+  algo : (module Snapcc_runtime.Model.ALGO);
+}
+
+let all =
+  [ { name = "cc1"; tag = 1; algo = (module Cc1) };
+    { name = "cc2"; tag = 2; algo = (module Cc2) };
+    { name = "cc3"; tag = 3; algo = (module Cc3) } ]
+
+let find name = List.find_opt (fun e -> e.name = name) all
+let find_tag tag = List.find_opt (fun e -> e.tag = tag) all

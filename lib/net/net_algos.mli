@@ -1,0 +1,22 @@
+(** The algorithms the networked runtime can serve, keyed by name and by
+    {!Codec} wire tag.
+
+    These are the same functor applications as [Snapcc_experiments.Algos]
+    (the paper's three algorithms over the honest tree token substrate);
+    OCaml's applicative functors make the state types compatible, and
+    keeping the instantiations here spares the node runtime a dependency
+    on the experiment harness. *)
+
+module Cc1 : Snapcc_runtime.Model.ALGO
+module Cc2 : Snapcc_runtime.Model.ALGO
+module Cc3 : Snapcc_runtime.Model.ALGO
+
+type entry = {
+  name : string;
+  tag : int;  (** {!Codec} algo tag *)
+  algo : (module Snapcc_runtime.Model.ALGO);
+}
+
+val all : entry list
+val find : string -> entry option
+val find_tag : int -> entry option

@@ -1,0 +1,81 @@
+module HIO = Snapcc_hypergraph.Hypergraph_io
+module Model = Snapcc_runtime.Model
+
+let fail fmt = Printf.ksprintf failwith fmt
+
+module Work (A : Model.ALGO) = struct
+  module V = Snapcc_mp.Mp_view.Make (A)
+
+  let run fd ~id ~tag ~h ~core ~cache =
+    let core : A.state = Marshal.from_string core 0 in
+    let cache : A.state array = Marshal.from_string cache 0 in
+    let view = V.create h ~self:id ~core ~cache in
+    let frames = ref 1 (* the Init frame *) in
+    let decode_errors = ref 0 in
+    let send msg = Wire.write fd (Codec.encode ~algo:tag msg) in
+    send Codec.Ready;
+    let stop = ref false in
+    while not !stop do
+      match Wire.read fd with
+      | Error `Eof -> stop := true
+      | Error (`Oversized len) -> fail "node %d: oversized frame (%d bytes)" id len
+      | Ok body -> (
+        incr frames;
+        match Codec.decode ~expect:tag body with
+        | Error e ->
+          incr decode_errors;
+          send (Codec.Decode_error { reason = Codec.error_to_string e })
+        | Ok (_, Codec.Activate { step = _; req_in; req_out }) ->
+          let pred a q = q >= 0 && q < Array.length a && a.(q) in
+          let inputs =
+            { Model.request_in = pred req_in; request_out = pred req_out }
+          in
+          let label = V.activate view ~inputs in
+          send
+            (Codec.Activated
+               { label; core = Marshal.to_string (V.core view) [] })
+        | Ok (_, Codec.Deliver { src; state }) ->
+          let st : A.state = Marshal.from_string state 0 in
+          V.refresh view ~slot:(V.slot view src) st;
+          send Codec.Delivered
+        | Ok (_, Codec.Corrupt { core; cache }) ->
+          let core : A.state = Marshal.from_string core 0 in
+          let cache : A.state array = Marshal.from_string cache 0 in
+          V.set_core view core;
+          Array.iteri (fun slot st -> V.refresh view ~slot st) cache;
+          send Codec.Corrupted
+        | Ok (_, Codec.Bye) ->
+          send
+            (Codec.Bye_ack
+               { frames = !frames; decode_errors = !decode_errors });
+          stop := true
+        | Ok
+            ( _,
+              ( Codec.Hello _ | Codec.Init _ | Codec.Ready | Codec.Activated _
+              | Codec.Delivered | Codec.Corrupted | Codec.Decode_error _
+              | Codec.Bye_ack _ ) ) ->
+          incr decode_errors;
+          send (Codec.Decode_error { reason = "unexpected message kind" }))
+    done
+end
+
+let serve ~id fd =
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  Wire.write fd (Codec.encode ~algo:0 (Codec.Hello { id }));
+  match Wire.read fd with
+  | Error `Eof -> ()
+  | Error (`Oversized len) -> fail "node %d: oversized init frame (%d bytes)" id len
+  | Ok body -> (
+    match Codec.decode body with
+    | Error e -> fail "node %d: bad init frame: %s" id (Codec.error_to_string e)
+    | Ok (tag, Codec.Init { seed = _; topo; core; cache }) -> (
+      match Net_algos.find_tag tag with
+      | None -> fail "node %d: unknown algorithm tag %d" id tag
+      | Some entry -> (
+        match HIO.parse topo with
+        | Error e -> fail "node %d: bad topology: %s" id e
+        | Ok h ->
+          let module A = (val entry.Net_algos.algo) in
+          let module W = Work (A) in
+          W.run fd ~id ~tag ~h ~core ~cache))
+    | Ok (_, _) -> fail "node %d: expected init frame" id)

@@ -1,0 +1,406 @@
+module H = Snapcc_hypergraph.Hypergraph
+module HIO = Snapcc_hypergraph.Hypergraph_io
+module Model = Snapcc_runtime.Model
+module Obs = Snapcc_runtime.Obs
+module Spec = Snapcc_analysis.Spec
+module Workload = Snapcc_workload.Workload
+module Tele = Snapcc_telemetry
+module Sem = Snapcc_mp.Mp_semantics
+
+type config = {
+  algo : string;
+  seed : int;
+  init : [ `Canonical | `Random ];
+  deliver_bias : float;
+  steps : int;
+  plan : Faults.plan;
+  burst : int option;
+}
+
+type result = {
+  steps : int;
+  convenes : int;
+  terminations : int;
+  violations : Spec.violation list;
+  sent : int;
+  delivered : int;
+  dropped : int;
+  malformed : int;
+  bytes_sent : int;
+  bytes_delivered : int;
+  in_flight : int;
+  max_staleness : int;
+  latencies_us : int list;
+  burst_step : int option;
+  recover_step : int option;
+  stabilized_in : int option;
+  node_frames : int;
+  node_decode_errors : int;
+  wall_s : float;
+  final_obs : Obs.t array;
+}
+
+let fail fmt = Printf.ksprintf failwith fmt
+
+module Make (A : Model.ALGO) = struct
+  let marshal (v : A.state) = Marshal.to_string v []
+
+  let go ?telemetry ~mode ~workload ~tag (cfg : config) h =
+    let t0 = Unix.gettimeofday () in
+    let n = H.n h in
+    let plan = cfg.plan in
+    let sem = Sem.create ~deliver_bias:cfg.deliver_bias ~seed:cfg.seed h in
+    let rng = Sem.rng sem in
+    (* Initial cores, caches and in-flight messages: drawn from the
+       scheduler's generator in exactly [Mp_engine.create]'s order, so a
+       fault-free run replays the mp run of the same seed. *)
+    let mk p =
+      match cfg.init with
+      | `Canonical -> A.init h p
+      | `Random -> A.random_init h rng p
+    in
+    let states = Array.init n mk in
+    let caches =
+      Array.init n (fun p ->
+          Array.map
+            (fun q ->
+              match cfg.init with
+              | `Canonical -> states.(q)
+              | `Random -> A.random_init h rng q)
+            (H.neighbors h p))
+    in
+    let chan0 =
+      Array.init n (fun p ->
+          Array.map
+            (fun q ->
+              match cfg.init with
+              | `Canonical -> None
+              | `Random ->
+                if Random.State.bool rng then Some (A.random_init h rng q)
+                else None)
+            (H.neighbors h p))
+    in
+    (* links.(dst).(slot) carries snapshots from [neighbors dst].(slot). *)
+    let links =
+      Array.init n (fun dst ->
+          Array.map
+            (fun src -> Link.create ~src ~dst ~seed:cfg.seed)
+            (H.neighbors h dst))
+    in
+    Array.iteri
+      (fun dst row ->
+        Array.iteri
+          (fun slot m ->
+            match m with
+            | Some st -> Link.preload links.(dst).(slot) ~step:0 ~state:(marshal st)
+            | None -> ())
+          row)
+      chan0;
+    (* byte-flips of frames marked corrupt by a link; separate generator so
+       the corruption rate does not shift the scheduler's draws *)
+    let frame_rng = Random.State.make [| cfg.seed; 0xf17 |] in
+    let slot_of dst src =
+      let nb = H.neighbors h dst in
+      let rec scan i =
+        if i >= Array.length nb then fail "net: %d is not a neighbor of %d" src dst
+        else if nb.(i) = src then i
+        else scan (i + 1)
+      in
+      scan 0
+    in
+    let emit ev =
+      match telemetry with Some hub -> Tele.Hub.emit hub ev | None -> ()
+    in
+    (* counters *)
+    let sent = ref 0 in
+    let delivered = ref 0 in
+    let dropped = ref 0 in
+    let malformed = ref 0 in
+    let bytes_sent = ref 0 in
+    let bytes_delivered = ref 0 in
+    let terminations = ref 0 in
+    let rev_latencies = ref [] in
+    let recover = ref None in
+    let burst_done = ref false in
+    let nodes = Spawn.launch mode ~n in
+    let cleanup_on_error () =
+      Spawn.kill nodes;
+      Spawn.shutdown nodes
+    in
+    try
+      let send p msg = Wire.write nodes.(p).Spawn.fd (Codec.encode ~algo:tag msg) in
+      let send_raw p body = Wire.write nodes.(p).Spawn.fd body in
+      let recv p =
+        match Wire.read nodes.(p).Spawn.fd with
+        | Error `Eof -> fail "net: node %d died" p
+        | Error (`Oversized len) ->
+          fail "net: oversized frame from node %d (%d bytes)" p len
+        | Ok body -> (
+          match Codec.decode ~expect:tag body with
+          | Ok (_, msg) -> msg
+          | Error e ->
+            fail "net: bad frame from node %d: %s" p (Codec.error_to_string e))
+      in
+      let topo = HIO.to_string h in
+      Array.iteri
+        (fun p st ->
+          send p
+            (Codec.Init
+               { seed = cfg.seed; topo; core = marshal st;
+                 cache = Marshal.to_string caches.(p) [] }))
+        states;
+      Array.iteri
+        (fun p _ ->
+          match recv p with
+          | Codec.Ready -> ()
+          | _ -> fail "net: node %d: expected ready" p)
+        nodes;
+      emit
+        (Tele.Event.Run_start
+           { algo = A.name; daemon = "net-scheduler";
+             workload = Workload.name workload; seed = cfg.seed; n;
+             m = H.m h });
+      let obs () = Array.init n (A.observe h states) in
+      let before = ref (obs ()) in
+      let spec = Spec.create ?telemetry h ~initial:!before in
+      let broadcast p =
+        let snapshot = marshal states.(p) in
+        let bytes = String.length snapshot in
+        let now = Unix.gettimeofday () in
+        Array.iter
+          (fun q ->
+            let step = Sem.steps sem in
+            emit (Tele.Event.Net_sent { step; src = p; dst = q; bytes });
+            incr sent;
+            bytes_sent := !bytes_sent + bytes;
+            if Faults.partitioned plan ~step:(step - 1) ~n ~src:p ~dst:q then begin
+              emit
+                (Tele.Event.Net_dropped
+                   { step; src = p; dst = q; reason = "partition" });
+              incr dropped
+            end
+            else begin
+              let link = links.(q).(slot_of q p) in
+              let r =
+                Link.send link ~plan ~step:(step - 1) ~now ~state:snapshot
+              in
+              if r.Link.copies = 0 then begin
+                emit
+                  (Tele.Event.Net_dropped
+                     { step; src = p; dst = q; reason = "drop" });
+                incr dropped
+              end;
+              for _ = 1 to r.Link.evicted do
+                emit
+                  (Tele.Event.Net_dropped
+                     { step; src = p; dst = q; reason = "overflow" });
+                incr dropped
+              done
+            end)
+          (H.neighbors h p)
+      in
+      let activate p ~req_in ~req_out =
+        send p (Codec.Activate { step = Sem.steps sem; req_in; req_out });
+        match recv p with
+        | Codec.Activated { label; core } ->
+          states.(p) <- (Marshal.from_string core 0 : A.state);
+          broadcast p;
+          Sem.on_activated sem p;
+          emit (Tele.Event.Mp_activated { step = Sem.steps sem; p; label })
+        | _ -> fail "net: node %d: expected activated" p
+      in
+      let deliver p slot =
+        let link = links.(p).(slot) in
+        let src = Link.src link in
+        let step = Sem.steps sem in
+        match Link.pop link ~plan ~step:(step - 1) with
+        | None -> fail "net: deliver decision on an empty link %d.%d" p slot
+        | Some e ->
+          let body = Codec.encode ~algo:tag (Codec.Deliver { src; state = e.Link.state }) in
+          let bytes = String.length e.Link.state in
+          if e.Link.corrupt then begin
+            send_raw p (Codec.corrupt_body frame_rng body);
+            (match recv p with
+             | Codec.Decode_error _ -> ()
+             | _ -> fail "net: node %d accepted a corrupted frame" p);
+            emit
+              (Tele.Event.Net_dropped
+                 { step; src; dst = p; reason = "malformed" });
+            incr malformed;
+            incr dropped
+          end
+          else begin
+            send_raw p body;
+            (match recv p with
+             | Codec.Delivered -> ()
+             | _ -> fail "net: node %d: expected delivered" p);
+            Sem.on_cache_refresh sem ~dst:p ~slot;
+            incr delivered;
+            bytes_delivered := !bytes_delivered + bytes;
+            let latency_us =
+              int_of_float ((Unix.gettimeofday () -. e.Link.sent_at) *. 1e6)
+            in
+            rev_latencies := latency_us :: !rev_latencies;
+            emit (Tele.Event.Mp_delivered { step; dst = p; src });
+            emit
+              (Tele.Event.Net_delivered
+                 { step; src; dst = p; bytes; latency_us })
+          end
+      in
+      let corruption_burst i =
+        let victims = List.init (max 1 (n / 2)) (fun k -> 2 * k mod n) in
+        emit (Tele.Event.Fault { step = Sem.steps sem; victims });
+        List.iter
+          (fun p ->
+            (* same draw order as [Mp_engine.corrupt]: core, cache row,
+               then in-flight channels *)
+            let core = A.random_init h rng p in
+            let cache =
+              Array.map (fun q -> A.random_init h rng q) (H.neighbors h p)
+            in
+            states.(p) <- core;
+            send p
+              (Codec.Corrupt
+                 { core = marshal core; cache = Marshal.to_string cache [] });
+            (match recv p with
+             | Codec.Corrupted -> ()
+             | _ -> fail "net: node %d: expected corrupted" p);
+            Array.iteri
+              (fun slot q ->
+                if Random.State.bool rng then
+                  Link.preload links.(p).(slot) ~step:i
+                    ~state:(marshal (A.random_init h rng q)))
+              (H.neighbors h p))
+          victims;
+        burst_done := true;
+        Spec.on_fault spec (obs ());
+        before := obs ()
+      in
+      let pending i =
+        let acc = ref [] in
+        Array.iteri
+          (fun p row ->
+            Array.iteri
+              (fun slot link ->
+                if Link.eligible link ~step:i then acc := (p, slot) :: !acc)
+              row)
+          links;
+        !acc
+      in
+      for i = 0 to cfg.steps - 1 do
+        (match cfg.burst with Some b when b = i -> corruption_burst i | _ -> ());
+        let inputs = Workload.inputs workload !before in
+        let req_in = Array.init n inputs.Model.request_in in
+        let req_out = Array.init n inputs.Model.request_out in
+        Sem.begin_step sem;
+        (match Sem.decide sem ~pending:(pending i) with
+         | Sem.Activate p -> activate p ~req_in ~req_out
+         | Sem.Deliver (p, slot) -> deliver p slot);
+        let after = obs () in
+        Spec.on_step spec ~step:i ~request_out:inputs.Model.request_out
+          ~before:!before ~after;
+        (* observer-derived events: meeting-set and token diffs *)
+        let mb = Obs.meetings h !before and ma = Obs.meetings h after in
+        let fresh = List.filter (fun e -> not (List.mem e mb)) ma in
+        let gone = List.filter (fun e -> not (List.mem e ma)) mb in
+        List.iter
+          (fun eid -> emit (Tele.Event.Convene { step = i; round = 0; eid }))
+          fresh;
+        List.iter
+          (fun eid ->
+            incr terminations;
+            emit (Tele.Event.Terminate { step = i; round = 0; eid }))
+          gone;
+        (match (fresh, !burst_done, !recover) with
+         | eid :: _, true, None ->
+           recover := Some i;
+           emit (Tele.Event.Recover { step = i; eid })
+         | _ -> ());
+        Array.iteri
+          (fun p (a : Obs.t) ->
+            if a.Obs.has_token && not !before.(p).Obs.has_token then
+              emit (Tele.Event.Token_handoff { step = i; p }))
+          after;
+        Workload.observe workload ~step:i after;
+        before := after
+      done;
+      emit
+        (Tele.Event.Run_end
+           { outcome = "steps_exhausted"; steps = cfg.steps; rounds = 0 });
+      let node_frames = ref 0 in
+      let node_decode_errors = ref 0 in
+      Array.iteri
+        (fun p _ ->
+          send p Codec.Bye;
+          match recv p with
+          | Codec.Bye_ack { frames; decode_errors } ->
+            node_frames := !node_frames + frames;
+            node_decode_errors := !node_decode_errors + decode_errors
+          | _ -> fail "net: node %d: expected bye-ack" p)
+        nodes;
+      Spawn.shutdown nodes;
+      let in_flight =
+        Array.fold_left
+          (fun acc row -> Array.fold_left (fun a l -> a + Link.size l) acc row)
+          0 links
+      in
+      {
+        steps = cfg.steps;
+        convenes = List.length (Spec.convened spec);
+        terminations = !terminations;
+        violations = Spec.violations spec;
+        sent = !sent;
+        delivered = !delivered;
+        dropped = !dropped;
+        malformed = !malformed;
+        bytes_sent = !bytes_sent;
+        bytes_delivered = !bytes_delivered;
+        in_flight;
+        max_staleness = Sem.max_staleness sem;
+        latencies_us = List.rev !rev_latencies;
+        burst_step = (if !burst_done then cfg.burst else None);
+        recover_step = !recover;
+        stabilized_in =
+          (match (cfg.burst, !recover) with
+           | Some b, Some r when !burst_done -> Some (r - b)
+           | _ -> None);
+        node_frames = !node_frames;
+        node_decode_errors = !node_decode_errors;
+        wall_s = Unix.gettimeofday () -. t0;
+        final_obs = obs ();
+      }
+    with e ->
+      cleanup_on_error ();
+      raise e
+end
+
+let run ?telemetry ~mode ~workload (cfg : config) h =
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  match Net_algos.find cfg.algo with
+  | None ->
+    Error
+      (Printf.sprintf "net supports cc1|cc2|cc3, not %S" cfg.algo)
+  | Some entry ->
+    let module A = (val entry.Net_algos.algo) in
+    let module O = Make (A) in
+    Ok (O.go ?telemetry ~mode ~workload ~tag:entry.Net_algos.tag cfg h)
+
+let pp_result ppf r =
+  Format.fprintf ppf
+    "@[<v>%d steps: %d meetings convened, %d terminated, %d violations@,\
+     messages: %d sent, %d delivered, %d dropped (%d malformed), %d in flight@,\
+     bytes: %d sent, %d delivered; max staleness %d steps@,\
+     nodes: %d frames received, %d decode errors; wall %.3fs"
+    r.steps r.convenes r.terminations
+    (List.length r.violations)
+    r.sent r.delivered r.dropped r.malformed r.in_flight r.bytes_sent
+    r.bytes_delivered r.max_staleness r.node_frames r.node_decode_errors
+    r.wall_s;
+  (match r.burst_step with
+   | None -> ()
+   | Some b -> (
+     Format.fprintf ppf "@,corruption burst at step %d: " b;
+     match r.stabilized_in with
+     | Some d -> Format.fprintf ppf "stabilized in %d steps" d
+     | None -> Format.fprintf ppf "no convene before the horizon"));
+  Format.fprintf ppf "@]"

@@ -1,0 +1,69 @@
+(** The orchestrator: scheduler, fault-injecting link layer and live
+    monitoring observer of the networked runtime.
+
+    The orchestrator drives the node processes in lockstep through the
+    {e same} scheduler as the in-process emulation
+    ({!Snapcc_mp.Mp_semantics}, same seed vector, same draw order): each
+    step either activates one node (which executes one guarded action
+    against its cached view and re-broadcasts its state through the link
+    layer) or delivers one in-flight snapshot.  Under a fault-free plan
+    the links coalesce exactly like [Mp_engine]'s single-slot channels,
+    so a zero-fault networked run replays the [ccsim mp] run of the same
+    seed decision for decision — [lib/mp] is the executable reference
+    model of this runtime.
+
+    The observer half assembles the true configuration from the nodes'
+    [Activated] reports, runs the {!Snapcc_analysis.Spec} monitors online
+    and streams telemetry ([convene]/[terminate]/[token_handoff]/
+    [fault]/[recover] plus the [net_*] link events), so [ccsim stats]
+    consumes a networked trace unchanged.  Every event except
+    [net_delivered] (wall-clock latency) is a pure function of the
+    seed. *)
+
+type config = {
+  algo : string;  (** cc1 | cc2 | cc3 *)
+  seed : int;
+  init : [ `Canonical | `Random ];
+  deliver_bias : float;
+  steps : int;
+  plan : Faults.plan;
+  burst : int option;
+      (** soak mode: corrupt half the nodes (cores, caches and in-flight
+          messages, like [Mp_engine.corrupt]) at this step *)
+}
+
+type result = {
+  steps : int;
+  convenes : int;
+  terminations : int;
+  violations : Snapcc_analysis.Spec.violation list;
+  sent : int;  (** snapshots handed to the link layer *)
+  delivered : int;
+  dropped : int;  (** total losses, all reasons *)
+  malformed : int;  (** corrupted frames rejected by the strict decoder *)
+  bytes_sent : int;
+  bytes_delivered : int;
+  in_flight : int;  (** snapshots still queued at the end *)
+  max_staleness : int;
+  latencies_us : int list;  (** delivery latencies, chronological *)
+  burst_step : int option;
+  recover_step : int option;  (** first convene after the burst *)
+  stabilized_in : int option;  (** recover_step - burst_step *)
+  node_frames : int;  (** frames received across nodes (from [Bye_ack]) *)
+  node_decode_errors : int;
+  wall_s : float;
+  final_obs : Snapcc_runtime.Obs.t array;
+}
+
+val run :
+  ?telemetry:Snapcc_telemetry.Hub.t ->
+  mode:Spawn.mode ->
+  workload:Snapcc_workload.Workload.t ->
+  config ->
+  Snapcc_hypergraph.Hypergraph.t ->
+  (result, string) Stdlib.result
+(** [Error] for an unknown algorithm name; protocol failures (a node
+    dying mid-run) raise [Failure] after the remaining nodes are
+    killed and reaped. *)
+
+val pp_result : Format.formatter -> result -> unit

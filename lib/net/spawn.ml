@@ -1,0 +1,90 @@
+type mode = Fork | Exec of string
+
+type node = { id : int; pid : int; fd : Unix.file_descr }
+
+let fail fmt = Printf.ksprintf failwith fmt
+
+(* Consume the node's [Hello] and check it names the expected id. *)
+let handshake fd ~expect =
+  match Wire.read fd with
+  | Error `Eof -> fail "net: node closed the connection before hello"
+  | Error (`Oversized len) -> fail "net: oversized hello frame (%d bytes)" len
+  | Ok body -> (
+    match Codec.decode body with
+    | Ok (_, Codec.Hello { id }) -> (
+      match expect with
+      | Some e when e <> id -> fail "net: node said hello as %d, expected %d" id e
+      | _ -> id)
+    | Ok (_, _) -> fail "net: expected hello frame"
+    | Error e -> fail "net: bad hello frame: %s" (Codec.error_to_string e))
+
+let launch_fork n =
+  let nodes = ref [] in
+  for id = 0 to n - 1 do
+    let parent_fd, child_fd = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    match Unix.fork () with
+    | 0 ->
+      (* the child must not hold the parent ends of earlier nodes' pairs *)
+      List.iter (fun nd -> try Unix.close nd.fd with Unix.Unix_error _ -> ())
+        !nodes;
+      Unix.close parent_fd;
+      let ok = try Node.serve ~id child_fd; true with _ -> false in
+      (try Unix.close child_fd with Unix.Unix_error _ -> ());
+      Unix._exit (if ok then 0 else 1)
+    | pid ->
+      Unix.close child_fd;
+      nodes := { id; pid; fd = parent_fd } :: !nodes
+  done;
+  let arr = Array.of_list (List.rev !nodes) in
+  Array.iter (fun nd -> ignore (handshake nd.fd ~expect:(Some nd.id))) arr;
+  arr
+
+let launch_exec exe n =
+  let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close sock with Unix.Unix_error _ -> ())
+    (fun () ->
+      Unix.setsockopt sock Unix.SO_REUSEADDR true;
+      Unix.bind sock (Unix.ADDR_INET (Unix.inet_addr_loopback, 0));
+      Unix.listen sock n;
+      let port =
+        match Unix.getsockname sock with
+        | Unix.ADDR_INET (_, p) -> p
+        | _ -> assert false
+      in
+      let pids =
+        Array.init n (fun id ->
+            Unix.create_process exe
+              [| exe; "node"; "--id"; string_of_int id;
+                 "--connect"; string_of_int port |]
+              Unix.stdin Unix.stdout Unix.stderr)
+      in
+      let nodes = Array.make n None in
+      for _ = 1 to n do
+        let fd, _addr = Unix.accept sock in
+        let id = handshake fd ~expect:None in
+        if id < 0 || id >= n then fail "net: hello from unknown node %d" id;
+        if nodes.(id) <> None then fail "net: duplicate hello from node %d" id;
+        nodes.(id) <- Some { id; pid = pids.(id); fd }
+      done;
+      Array.map (function Some nd -> nd | None -> fail "net: missing node") nodes)
+
+let launch mode ~n =
+  match mode with Fork -> launch_fork n | Exec exe -> launch_exec exe n
+
+let connect ~port =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  fd
+
+let shutdown nodes =
+  Array.iter
+    (fun nd ->
+      (try Unix.close nd.fd with Unix.Unix_error _ -> ());
+      try ignore (Unix.waitpid [] nd.pid) with Unix.Unix_error _ -> ())
+    nodes
+
+let kill nodes =
+  Array.iter
+    (fun nd -> try Unix.kill nd.pid Sys.sigkill with Unix.Unix_error _ -> ())
+    nodes

@@ -1,0 +1,32 @@
+(** Launching and reaping the node processes.
+
+    Two spawn modes:
+    - [Fork]: each node is [Unix.fork]ed from the current process and
+      speaks over a socketpair.  Used by the tests and the in-process
+      benchmark — everything runs under [dune runtest] with no
+      executable-path plumbing.
+    - [Exec exe]: each node is [exe node --id I --connect PORT], dialing a
+      TCP loopback listener on an ephemeral port — real separate
+      executables, as [ccsim net] runs them (with
+      [exe = Sys.executable_name]).
+
+    In both modes {!launch} completes the [Hello] handshake, so the
+    returned descriptors are ready for the [Init] exchange. *)
+
+type mode = Fork | Exec of string
+
+type node = { id : int; pid : int; fd : Unix.file_descr }
+
+val launch : mode -> n:int -> node array
+(** Indexed by node id.  Raises [Failure] if a node fails to come up. *)
+
+val connect : port:int -> Unix.file_descr
+(** Node-side dial for [Exec] mode ([ccsim node --connect PORT]). *)
+
+val shutdown : node array -> unit
+(** Close every descriptor and reap every pid (idempotent, never
+    raises) — use after the [Bye] exchange, and on error paths after
+    {!kill}. *)
+
+val kill : node array -> unit
+(** Force-terminate the nodes (SIGKILL); pair with {!shutdown}. *)

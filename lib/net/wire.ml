@@ -1,0 +1,53 @@
+let max_frame = 16 * 1024 * 1024
+
+let rec retry_intr f =
+  try f () with Unix.Unix_error (Unix.EINTR, _, _) -> retry_intr f
+
+let write_all fd bytes =
+  let len = Bytes.length bytes in
+  let off = ref 0 in
+  while !off < len do
+    let n = retry_intr (fun () -> Unix.write fd bytes !off (len - !off)) in
+    if n = 0 then raise End_of_file;
+    off := !off + n
+  done
+
+let write fd body =
+  let len = String.length body in
+  let frame = Bytes.create (4 + len) in
+  Bytes.set_uint8 frame 0 ((len lsr 24) land 0xff);
+  Bytes.set_uint8 frame 1 ((len lsr 16) land 0xff);
+  Bytes.set_uint8 frame 2 ((len lsr 8) land 0xff);
+  Bytes.set_uint8 frame 3 (len land 0xff);
+  Bytes.blit_string body 0 frame 4 len;
+  write_all fd frame
+
+(* [exact] reads [len] bytes or raises [End_of_file]; [`Eof] is only
+   reported by [read] when the very first byte of a frame is missing. *)
+let read_exact fd len ~at_boundary =
+  let buf = Bytes.create len in
+  let off = ref 0 in
+  let eof = ref false in
+  while (not !eof) && !off < len do
+    let n = retry_intr (fun () -> Unix.read fd buf !off (len - !off)) in
+    if n = 0 then
+      if !off = 0 && at_boundary then eof := true else raise End_of_file
+    else off := !off + n
+  done;
+  if !eof then None else Some buf
+
+let read fd =
+  match read_exact fd 4 ~at_boundary:true with
+  | None -> Error `Eof
+  | Some hdr ->
+    let len =
+      (Bytes.get_uint8 hdr 0 lsl 24)
+      lor (Bytes.get_uint8 hdr 1 lsl 16)
+      lor (Bytes.get_uint8 hdr 2 lsl 8)
+      lor Bytes.get_uint8 hdr 3
+    in
+    if len > max_frame then Error (`Oversized len)
+    else (
+      match read_exact fd len ~at_boundary:false with
+      | None -> assert false
+      | Some body -> Ok (Bytes.to_string body))

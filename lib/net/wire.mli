@@ -1,0 +1,17 @@
+(** Length-prefixed framing over a Unix file descriptor.
+
+    A frame on the wire is a 4-byte big-endian body length followed by the
+    body ({!Codec} frame).  Reads and writes handle short transfers and
+    [EINTR]; a frame longer than {!max_frame} is refused without reading
+    its body (resynchronisation is impossible at that point, so the
+    runtime treats it as a dead peer rather than a transient fault). *)
+
+val max_frame : int
+(** Upper bound on an accepted body length (16 MiB). *)
+
+val write : Unix.file_descr -> string -> unit
+(** Write one frame (length prefix + body), looping over short writes. *)
+
+val read : Unix.file_descr -> (string, [ `Eof | `Oversized of int ]) result
+(** Read one frame body.  [`Eof] when the peer closed the descriptor at a
+    frame boundary; [End_of_file] is raised on a mid-frame close. *)

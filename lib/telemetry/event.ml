@@ -32,6 +32,15 @@ type t =
   | Mc_frontier of { configs : int; transitions : int }
   | Mp_activated of { step : int; p : int; label : string option }
   | Mp_delivered of { step : int; dst : int; src : int }
+  | Net_sent of { step : int; src : int; dst : int; bytes : int }
+  | Net_delivered of {
+      step : int;
+      src : int;
+      dst : int;
+      bytes : int;
+      latency_us : int;
+    }
+  | Net_dropped of { step : int; src : int; dst : int; reason : string }
   | Run_end of { outcome : string; steps : int; rounds : int }
 
 type stamped = { seq : int; t_us : int; ev : t }
@@ -51,7 +60,16 @@ let kind = function
   | Mc_frontier _ -> "mc_frontier"
   | Mp_activated _ -> "mp_activated"
   | Mp_delivered _ -> "mp_delivered"
+  | Net_sent _ -> "net_sent"
+  | Net_delivered _ -> "net_delivered"
+  | Net_dropped _ -> "net_dropped"
   | Run_end _ -> "run_end"
+
+(* Every event body is a pure function of the seed except [net_delivered],
+   whose [latency_us] is measured wall-clock; filtering on this predicate
+   recovers the deterministic (byte-reproducible) subset of a networked
+   trace. *)
+let logical = function Net_delivered _ -> false | _ -> true
 
 let ints l = Json.List (List.map (fun i -> Json.Int i) l)
 
@@ -100,6 +118,22 @@ let to_json ev =
          match label with Some l -> Json.String l | None -> Json.Null) ]
     | Mp_delivered { step; dst; src } ->
       [ ("step", Json.Int step); ("dst", Json.Int dst); ("src", Json.Int src) ]
+    | Net_sent { step; src; dst; bytes } ->
+      [ ("step", Json.Int step);
+        ("src", Json.Int src);
+        ("dst", Json.Int dst);
+        ("bytes", Json.Int bytes) ]
+    | Net_delivered { step; src; dst; bytes; latency_us } ->
+      [ ("step", Json.Int step);
+        ("src", Json.Int src);
+        ("dst", Json.Int dst);
+        ("bytes", Json.Int bytes);
+        ("latency_us", Json.Int latency_us) ]
+    | Net_dropped { step; src; dst; reason } ->
+      [ ("step", Json.Int step);
+        ("src", Json.Int src);
+        ("dst", Json.Int dst);
+        ("reason", Json.String reason) ]
     | Run_end { outcome; steps; rounds } ->
       [ ("outcome", Json.String outcome);
         ("steps", Json.Int steps);
@@ -198,6 +232,25 @@ let of_json j =
     let* dst = int "dst" in
     let* src = int "src" in
     Ok (Mp_delivered { step; dst; src })
+  | "net_sent" ->
+    let* step = int "step" in
+    let* src = int "src" in
+    let* dst = int "dst" in
+    let* bytes = int "bytes" in
+    Ok (Net_sent { step; src; dst; bytes })
+  | "net_delivered" ->
+    let* step = int "step" in
+    let* src = int "src" in
+    let* dst = int "dst" in
+    let* bytes = int "bytes" in
+    let* latency_us = int "latency_us" in
+    Ok (Net_delivered { step; src; dst; bytes; latency_us })
+  | "net_dropped" ->
+    let* step = int "step" in
+    let* src = int "src" in
+    let* dst = int "dst" in
+    let* reason = str "reason" in
+    Ok (Net_dropped { step; src; dst; reason })
   | "run_end" ->
     let* outcome = str "outcome" in
     let* steps = int "steps" in

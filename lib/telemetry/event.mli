@@ -52,6 +52,22 @@ type t =
       (** Model-checker exploration progress sample. *)
   | Mp_activated of { step : int; p : int; label : string option }
   | Mp_delivered of { step : int; dst : int; src : int }
+  | Net_sent of { step : int; src : int; dst : int; bytes : int }
+      (** A state snapshot entered a (possibly faulty) network link. *)
+  | Net_delivered of {
+      step : int;
+      src : int;
+      dst : int;
+      bytes : int;
+      latency_us : int;  (** wall-clock send-to-deliver latency *)
+    }
+      (** The snapshot reached the receiver's cache.  The one event whose
+          body is {e not} a pure function of the seed (see {!logical}). *)
+  | Net_dropped of { step : int; src : int; dst : int; reason : string }
+      (** The link lost the snapshot: ["drop"] (random loss), ["partition"]
+          (severed link), ["overflow"] (bounded queue), or ["malformed"]
+          (the receiver's strict decoder rejected the frame — a corrupted
+          frame is a transient fault, never a crash). *)
   | Run_end of { outcome : string; steps : int; rounds : int }
 
 type stamped = {
@@ -63,6 +79,12 @@ type stamped = {
 val kind : t -> string
 (** Stable snake-case tag, e.g. ["wait_close"] — the ["ev"] field of the
     JSONL encoding. *)
+
+val logical : t -> bool
+(** Whether the event body is a pure function of the seed (true for every
+    kind except [net_delivered], which carries a wall-clock latency).
+    Filtering a networked JSONL trace on this predicate yields the
+    byte-reproducible subset. *)
 
 val to_json : t -> Json.t
 val of_json : Json.t -> (t, string) result

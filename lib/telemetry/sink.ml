@@ -116,9 +116,23 @@ let catapult_json (s : Event.stamped) =
       (base ~name:"recovered" ~ph:"i" ~tid:0
          ~args:[ ("eid", Json.Int eid); ("step", Json.Int step) ]
          [ ("s", Json.String "g") ])
+  | Event.Net_delivered { src; dst; bytes; latency_us; step } ->
+    Some
+      (instant ~tid:dst
+         ~args:
+           [ ("src", Json.Int src);
+             ("bytes", Json.Int bytes);
+             ("latency_us", Json.Int latency_us);
+             ("step", Json.Int step) ]
+         "net recv")
+  | Event.Net_dropped { src; dst; reason; step } ->
+    Some
+      (base ~name:("net drop: " ^ reason) ~ph:"i" ~tid:dst
+         ~args:[ ("src", Json.Int src); ("step", Json.Int step) ]
+         [ ("s", Json.String "t") ])
   | Event.Run_start _ | Event.Run_end _ | Event.Wait_open _
   | Event.Wait_close _ | Event.Mc_frontier _ | Event.Mp_activated _
-  | Event.Mp_delivered _ ->
+  | Event.Mp_delivered _ | Event.Net_sent _ ->
     None
 
 let emit t s =

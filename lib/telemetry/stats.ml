@@ -73,7 +73,8 @@ let of_events events =
       | Event.Fault _ -> incr faults
       | Event.Token_handoff _ -> incr tokens
       | Event.Recover _ | Event.Mc_frontier _ | Event.Mp_activated _
-      | Event.Mp_delivered _ ->
+      | Event.Mp_delivered _ | Event.Net_sent _ | Event.Net_delivered _
+      | Event.Net_dropped _ ->
         ()
       | Event.Run_end { outcome; steps; rounds } ->
         run_end := Some (outcome, steps, rounds))

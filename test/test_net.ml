@@ -1,0 +1,349 @@
+(* The networked runtime: codec strictness, fault plan parsing, link-layer
+   semantics, mp-vs-net cross-validation, and the faulty soak. *)
+
+module H = Snapcc_hypergraph.Hypergraph
+module Families = Snapcc_hypergraph.Families
+module Model = Snapcc_runtime.Model
+module Obs = Snapcc_runtime.Obs
+module Spec = Snapcc_analysis.Spec
+module Workload = Snapcc_workload.Workload
+module Tele = Snapcc_telemetry
+module Net = Snapcc_net
+module Codec = Net.Codec
+module Faults = Net.Faults
+module Link = Net.Link
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* ---- codec ---- *)
+
+let roundtrip ?expect ~algo msg =
+  match Codec.decode ?expect (Codec.encode ~algo msg) with
+  | Ok (tag, m) -> (tag, m)
+  | Error e -> Alcotest.failf "decode failed: %s" (Codec.error_to_string e)
+
+let test_codec_control_messages () =
+  let msgs =
+    [ Codec.Hello { id = 3 };
+      Codec.Init { seed = 42; topo = "n 2\ncommittee 0 1\n"; core = "abc"; cache = "" };
+      Codec.Ready;
+      Codec.Activate
+        { step = 7; req_in = [| true; false; true |]; req_out = [| false; false; true |] };
+      Codec.Activated { label = Some "Join"; core = "xyz" };
+      Codec.Activated { label = None; core = "" };
+      Codec.Deliver { src = 1; state = String.make 300 '\x00' };
+      Codec.Delivered;
+      Codec.Corrupt { core = "c"; cache = "k" };
+      Codec.Corrupted;
+      Codec.Decode_error { reason = "bad payload" };
+      Codec.Bye;
+      Codec.Bye_ack { frames = 123; decode_errors = 4 } ]
+  in
+  List.iter
+    (fun msg ->
+      let tag, m = roundtrip ~algo:2 ~expect:2 msg in
+      check_int "algo tag" 2 tag;
+      check "roundtrip" true (m = msg))
+    msgs
+
+(* Every core state the model checker enumerates for the paper's algorithms
+   on single2 and line3 survives a marshal -> frame -> strict decode ->
+   unmarshal roundtrip.  The domain enumeration of lib/mc is a superset of
+   the reachable states, so this covers every snapshot the runtime can
+   ship. *)
+let test_codec_roundtrip_domain_states () =
+  List.iter
+    (fun topo_name ->
+      let h = Families.by_name topo_name in
+      List.iter
+        (fun key ->
+          let entry =
+            match Snapcc_mc.Systems.find key with
+            | Some e -> e
+            | None -> Alcotest.failf "unknown mc system %s" key
+          in
+          let module S = (val entry.Snapcc_mc.Systems.make "tree") in
+          let tag =
+            match Codec.algo_tag key with
+            | Some t -> t
+            | None -> Alcotest.failf "no wire tag for %s" key
+          in
+          let states = ref 0 in
+          for p = 0 to H.n h - 1 do
+            List.iter
+              (fun st ->
+                incr states;
+                let payload = Marshal.to_string st [] in
+                match
+                  roundtrip ~algo:tag ~expect:tag
+                    (Codec.Deliver { src = p; state = payload })
+                with
+                | _, Codec.Deliver { src; state } ->
+                  check_int "src preserved" p src;
+                  let st' : S.state = Marshal.from_string state 0 in
+                  check "state preserved" true (S.equal_state st st')
+                | _ -> Alcotest.fail "wrong message kind")
+              (S.domain h p)
+          done;
+          check
+            (Printf.sprintf "%s/%s enumerated states" key topo_name)
+            true (!states > 10))
+        [ "cc1"; "cc2"; "cc3" ])
+    [ "single2"; "line3" ]
+
+let test_codec_strictness () =
+  let body = Codec.encode ~algo:1 (Codec.Deliver { src = 0; state = "snapshot" }) in
+  let expect_err b =
+    match Codec.decode ~expect:1 b with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.fail "strict decoder accepted a mangled frame"
+  in
+  (* truncations at every length *)
+  for len = 0 to String.length body - 1 do
+    expect_err (String.sub body 0 len)
+  done;
+  (* trailing junk *)
+  expect_err (body ^ "x");
+  (* wrong magic / version / algo tag *)
+  expect_err ("XXXX" ^ String.sub body 4 (String.length body - 4));
+  (match Codec.decode ~expect:2 body with
+   | Error (Codec.Bad_algo 1) -> ()
+   | _ -> Alcotest.fail "algo tag mismatch not detected");
+  (* seeded byte flips: the corruption primitive must never decode *)
+  let rng = Random.State.make [| 99 |] in
+  for _ = 1 to 500 do
+    expect_err (Codec.corrupt_body rng body)
+  done
+
+(* ---- fault plan parsing ---- *)
+
+let test_faults_parse () =
+  (match Faults.parse "drop=0.05,delay=2,dup=0.01,reorder=0.25,corrupt=0.02,partition=100-400" with
+   | Ok p ->
+     check "drop" true (p.Faults.drop = 0.05);
+     check_int "delay" 2 p.Faults.delay;
+     check "partition" true (p.Faults.partition = Some (100, 400));
+     check "not pure" true (not (Faults.is_pure p))
+   | Error e -> Alcotest.failf "parse failed: %s" e);
+  (match Faults.parse "" with
+   | Ok p -> check "empty plan is none" true (p = Faults.none)
+   | Error e -> Alcotest.failf "empty spec: %s" e);
+  List.iter
+    (fun bad ->
+      match Faults.parse bad with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "accepted invalid spec %S" bad)
+    [ "drop=1.5"; "drop=x"; "delay=-1"; "partition=400-100"; "partition=7";
+      "warp=0.1"; "drop" ]
+
+let test_partition_split () =
+  let plan =
+    match Faults.parse "partition=10-20" with Ok p -> p | Error e -> Alcotest.fail e
+  in
+  (* inside the window, only links crossing the halves are cut *)
+  check "crossing cut" true
+    (Faults.partitioned plan ~step:10 ~n:4 ~src:0 ~dst:3);
+  check "same side open" true
+    (not (Faults.partitioned plan ~step:10 ~n:4 ~src:0 ~dst:1));
+  check "healed after" true
+    (not (Faults.partitioned plan ~step:20 ~n:4 ~src:0 ~dst:3))
+
+(* ---- link layer ---- *)
+
+let test_link_coalesces_when_pure () =
+  let l = Link.create ~src:0 ~dst:1 ~seed:1 in
+  let plan = Faults.none in
+  for step = 0 to 9 do
+    ignore (Link.send l ~plan ~step ~now:0. ~state:(string_of_int step))
+  done;
+  check_int "single slot" 1 (Link.size l);
+  (match Link.pop l ~plan ~step:9 with
+   | Some e -> check "latest wins" true (e.Link.state = "9")
+   | None -> Alcotest.fail "nothing queued");
+  check_int "drained" 0 (Link.size l)
+
+let test_link_bounded_and_deterministic () =
+  let plan =
+    match Faults.parse "drop=0.2,delay=3,dup=0.2,reorder=0.5" with
+    | Ok p -> p
+    | Error e -> Alcotest.fail e
+  in
+  let run () =
+    let l = Link.create ~src:2 ~dst:5 ~seed:7 in
+    let log = ref [] in
+    for step = 0 to 199 do
+      let r = Link.send l ~plan ~step ~now:0. ~state:(string_of_int step) in
+      log := (`Sent (r.Link.copies, r.Link.evicted)) :: !log;
+      if step mod 3 = 0 then
+        match Link.pop l ~plan ~step with
+        | Some e -> log := `Popped e.Link.state :: !log
+        | None -> log := `Empty :: !log
+    done;
+    (Link.size l, !log)
+  in
+  let size, log = run () in
+  check "bounded queue" true (size <= Link.capacity);
+  check "per-link rng is deterministic" true ((size, log) = run ());
+  check "losses happened" true
+    (List.exists (function `Sent (0, _) -> true | _ -> false) log)
+
+(* ---- mp-vs-net cross-validation ---- *)
+
+(* A fault-free networked run (forked node processes, coalescing loopback
+   links) must replay the in-process message-passing emulation of the same
+   seed decision for decision: same Spec verdict, same convene count, same
+   message counts, same final configuration. *)
+module E = Snapcc_mp.Mp_engine.Make (Snapcc_experiments.Algos.Cc2)
+
+let mp_reference ~seed ~steps ~bias h =
+  let eng = E.create ~seed ~init:`Canonical ~deliver_bias:bias h in
+  let w = Workload.always_requesting h in
+  let spec = Spec.create h ~initial:(E.obs eng) in
+  let before = ref (E.obs eng) in
+  for i = 0 to steps - 1 do
+    let inputs = Workload.inputs w !before in
+    ignore (E.step eng ~inputs);
+    let after = E.obs eng in
+    Spec.on_step spec ~step:i ~request_out:inputs.Model.request_out
+      ~before:!before ~after;
+    Workload.observe w ~step:i after;
+    before := after
+  done;
+  (spec, E.messages_sent eng, E.messages_delivered eng, E.max_staleness eng,
+   E.obs eng)
+
+let test_net_replays_mp () =
+  let h = Families.fig1 () in
+  let seed = 3 and steps = 2_000 and bias = 0.4 in
+  let spec, sent, delivered, staleness, final = mp_reference ~seed ~steps ~bias h in
+  let cfg =
+    { Net.Orchestrator.algo = "cc2"; seed; init = `Canonical;
+      deliver_bias = bias; steps; plan = Faults.none; burst = None }
+  in
+  let w = Workload.always_requesting h in
+  let r =
+    match Net.Orchestrator.run ~mode:Net.Spawn.Fork ~workload:w cfg h with
+    | Ok r -> r
+    | Error e -> Alcotest.fail e
+  in
+  check_int "same convene count" (List.length (Spec.convened spec))
+    r.Net.Orchestrator.convenes;
+  check_int "same violation count" (List.length (Spec.violations spec))
+    (List.length r.Net.Orchestrator.violations);
+  check_int "same sends" sent r.Net.Orchestrator.sent;
+  check_int "same deliveries" delivered r.Net.Orchestrator.delivered;
+  check_int "same staleness" staleness r.Net.Orchestrator.max_staleness;
+  check_int "nothing lost without faults" 0 r.Net.Orchestrator.dropped;
+  check "same final configuration" true
+    (Array.for_all2 Obs.equal final r.Net.Orchestrator.final_obs)
+
+let test_unknown_algo_rejected () =
+  let h = Families.by_name "ring4" in
+  let cfg =
+    { Net.Orchestrator.algo = "dining"; seed = 1; init = `Canonical;
+      deliver_bias = 0.5; steps = 10; plan = Faults.none; burst = None }
+  in
+  match
+    Net.Orchestrator.run ~mode:Net.Spawn.Fork
+      ~workload:(Workload.always_requesting h) cfg h
+  with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "net accepted a non-cc algorithm"
+
+(* ---- faulty soak ---- *)
+
+let soak_run () =
+  let h = Families.by_name "ring5" in
+  let hub = Tele.Hub.create () in
+  let ring = Tele.Sink.ring ~capacity:65_536 in
+  Tele.Hub.add_sink hub ring;
+  let plan =
+    match Faults.parse "drop=0.05,delay=2,dup=0.02,corrupt=0.02" with
+    | Ok p -> p
+    | Error e -> Alcotest.fail e
+  in
+  let cfg =
+    { Net.Orchestrator.algo = "cc1"; seed = 11; init = `Canonical;
+      deliver_bias = 0.5; steps = 1_500; plan; burst = Some 750 }
+  in
+  let r =
+    match
+      Net.Orchestrator.run ~telemetry:hub ~mode:Net.Spawn.Fork
+        ~workload:(Workload.always_requesting h) cfg h
+    with
+    | Ok r -> r
+    | Error e -> Alcotest.fail e
+  in
+  let events =
+    List.map (fun (s : Tele.Event.stamped) -> s.Tele.Event.ev)
+      (Tele.Sink.ring_events ring)
+  in
+  (r, events)
+
+let soak_cache = ref None
+
+let soak_events_cached () =
+  match !soak_cache with
+  | Some r -> r
+  | None ->
+    let r = soak_run () in
+    soak_cache := Some r;
+    r
+
+let test_soak_stabilizes () =
+  let r, events = soak_events_cached () in
+  check_int "zero violations across the faulty soak" 0
+    (List.length r.Net.Orchestrator.violations);
+  check "losses injected" true (r.Net.Orchestrator.dropped > 0);
+  check "corrupted frames rejected, not crashed" true
+    (r.Net.Orchestrator.malformed > 0);
+  check_int "decoder rejections match node reports"
+    r.Net.Orchestrator.malformed r.Net.Orchestrator.node_decode_errors;
+  (match r.Net.Orchestrator.stabilized_in with
+   | Some d -> check "stabilized promptly" true (d >= 0 && d < 750)
+   | None -> Alcotest.fail "no convene after the corruption burst");
+  check "meetings kept convening" true (r.Net.Orchestrator.convenes > 2);
+  ignore events
+
+(* The telemetry stream of a faulty networked run is byte-reproducible on
+   its logical-event subset (everything but net_delivered's wall-clock
+   latency). *)
+let test_soak_logical_trace_reproducible () =
+  let r1, ev1 = soak_events_cached () in
+  let r2, ev2 = soak_run () in
+  check_int "same outcome" r1.Net.Orchestrator.delivered
+    r2.Net.Orchestrator.delivered;
+  let logical evs =
+    List.filter_map
+      (fun ev ->
+        if Tele.Event.logical ev then Some (Tele.Json.to_string (Tele.Event.to_json ev))
+        else None)
+      evs
+  in
+  check "logical event subset identical" true (logical ev1 = logical ev2);
+  check "wall-clock events present" true
+    (List.exists (fun ev -> not (Tele.Event.logical ev)) ev1)
+
+let suite =
+  [ ( "net",
+      [ Alcotest.test_case "codec control messages" `Quick test_codec_control_messages;
+        Alcotest.test_case "codec roundtrip over mc state domains" `Quick
+          test_codec_roundtrip_domain_states;
+        Alcotest.test_case "strict decoder rejects corruption" `Quick
+          test_codec_strictness;
+        Alcotest.test_case "fault plan parsing" `Quick test_faults_parse;
+        Alcotest.test_case "partition splits the node range" `Quick
+          test_partition_split;
+        Alcotest.test_case "pure links coalesce" `Quick test_link_coalesces_when_pure;
+        Alcotest.test_case "faulty links bounded + deterministic" `Quick
+          test_link_bounded_and_deterministic;
+        Alcotest.test_case "zero-fault net replays mp" `Quick test_net_replays_mp;
+        Alcotest.test_case "non-cc algorithms rejected" `Quick
+          test_unknown_algo_rejected;
+        Alcotest.test_case "faulty soak stabilizes after burst" `Slow
+          test_soak_stabilizes;
+        Alcotest.test_case "logical trace reproducible" `Slow
+          test_soak_logical_trace_reproducible;
+      ] );
+  ]
