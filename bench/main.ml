@@ -83,6 +83,23 @@ let run_mc_bench () =
      states/s %.0f  wall %.2fs  peak resident states %d  heap %.1f MB@.@."
     (Ex.n_configs r) (Ex.n_transitions r) (Ex.complete r)
     states_per_s dt (Ex.n_configs r) heap_mb;
+  (* the same exploration again, driven by the exact tier's packed
+     guard/footprint tables instead of the guard closures: table build
+     time is the price, per-transition lookup the payoff *)
+  let module Tb = Snapcc_mc.Tables.Make (S) in
+  let t0 = Unix.gettimeofday () in
+  let tb = Tb.build h in
+  let build_s = Unix.gettimeofday () -. t0 in
+  let t0 = Unix.gettimeofday () in
+  let rt = Ex.explore ~tables:tb h in
+  let dt_tables = Unix.gettimeofday () -. t0 in
+  let states_per_s_tables = float_of_int (Ex.n_configs rt) /. dt_tables in
+  assert (Ex.n_configs rt = Ex.n_configs r);
+  assert (Ex.n_transitions rt = Ex.n_transitions r);
+  Format.printf
+    "table-driven: build %.2fs  explore %.2fs  states/s %.0f  (x%.2f vs \
+     closures)@.@."
+    build_s dt_tables states_per_s_tables (dt /. dt_tables);
   Json.Obj
     [ ("algo", Json.String "cc1"); ("token", Json.String "vring");
       ("topo", Json.String topo);
@@ -91,8 +108,52 @@ let run_mc_bench () =
       ("complete", Json.Bool (Ex.complete r));
       ("states_per_s", Json.Float states_per_s);
       ("wall_s", Json.Float dt);
+      ("table_build_s", Json.Float build_s);
+      ("wall_s_tables", Json.Float dt_tables);
+      ("states_per_s_tables", Json.Float states_per_s_tables);
+      ("tables_speedup", Json.Float (dt /. dt_tables));
       ("peak_resident_states", Json.Int (Ex.n_configs r));
       ("heap_mb", Json.Float heap_mb) ]
+
+(* ---------- Part 2b: exact static tier wall time ---------- *)
+
+(* Wall time of the exact footprint analysis (lib/statics Exact over
+   lib/mc Tables) on the families `ccsim lint --exact` runs by default:
+   full domain-product enumeration per process under all input modes,
+   verify mode on.  --quick drops line3 (CC3 there costs ~10s). *)
+let run_exact_bench () =
+  let topos =
+    if quick then [ ("single2", Families.single 2) ]
+    else [ ("single2", Families.single 2); ("line3", Families.path 3) ]
+  in
+  Format.printf "=== exact static tier (lint --exact families) ===@.";
+  let rows =
+    List.concat_map
+      (fun key ->
+        let entry =
+          match Snapcc_mc.Systems.find key with
+          | Some e -> e
+          | None -> assert false
+        in
+        let module S = (val entry.Snapcc_mc.Systems.make "tree") in
+        let module Ex = Snapcc_statics.Exact.Make (S) in
+        List.map
+          (fun (topo, h) ->
+            let _, cov, _ = Ex.run ~algo:key ~topo h in
+            Format.printf "%-4s %-8s %9d cells  %6.2fs  complete=%b@." key
+              topo cov.Snapcc_statics.Exact.cells
+              cov.Snapcc_statics.Exact.seconds
+              cov.Snapcc_statics.Exact.complete;
+            Json.Obj
+              [ ("algo", Json.String key); ("topo", Json.String topo);
+                ("cells", Json.Int cov.Snapcc_statics.Exact.cells);
+                ("wall_s", Json.Float cov.Snapcc_statics.Exact.seconds);
+                ("complete", Json.Bool cov.Snapcc_statics.Exact.complete) ])
+          topos)
+      [ "cc1"; "cc2"; "cc3" ]
+  in
+  Format.printf "@.";
+  rows
 
 (* ---------- Part 3: networked-runtime macro-benchmark ---------- *)
 
@@ -291,6 +352,7 @@ let run_micro_benchmarks () =
 let () =
   let experiments = run_experiments () in
   let mc = run_mc_bench () in
+  let exact = run_exact_bench () in
   let net = run_net_bench () in
   let micro = run_micro_benchmarks () in
   let label = if quick then "quick" else "full" in
@@ -302,6 +364,7 @@ let () =
           [ ("mode", Json.String label);
             ("experiments", Json.List experiments);
             ("mc", mc);
+            ("exact", Json.List exact);
             ("net", net);
             ("micro", Json.List micro) ]));
   output_char oc '\n';

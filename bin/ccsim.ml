@@ -33,11 +33,43 @@ let topology_arg =
   in
   Arg.(value & opt string "fig1" & info [ "t"; "topology" ] ~docv:"TOPO" ~doc)
 
+(* Shared validating converters: every numeric option goes through one of
+   these so `ccsim sim --steps -3' and friends fail at parse time with a
+   uniform message instead of misbehaving downstream. *)
+
+let pos_int_conv =
+  let parse s =
+    match int_of_string_opt s with
+    | Some v when v > 0 -> Ok v
+    | _ -> Error (`Msg (Printf.sprintf "expected a positive integer, got %S" s))
+  in
+  Arg.conv ~docv:"N" (parse, Format.pp_print_int)
+
+let nonneg_int_conv =
+  let parse s =
+    match int_of_string_opt s with
+    | Some v when v >= 0 -> Ok v
+    | _ ->
+      Error (`Msg (Printf.sprintf "expected a non-negative integer, got %S" s))
+  in
+  Arg.conv ~docv:"N" (parse, Format.pp_print_int)
+
+let probability_conv =
+  let parse s =
+    match float_of_string_opt s with
+    | Some f when f >= 0. && f <= 1. -> Ok f
+    | _ ->
+      Error (`Msg (Printf.sprintf "expected a probability in [0,1], got %S" s))
+  in
+  Arg.conv ~docv:"P" (parse, fun ppf f -> Format.fprintf ppf "%g" f)
+
 let seed_arg =
-  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.")
+  Arg.(value & opt nonneg_int_conv 1
+       & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed (non-negative).")
 
 let steps_arg =
-  Arg.(value & opt int 10_000 & info [ "steps" ] ~docv:"N" ~doc:"Step horizon.")
+  Arg.(value & opt pos_int_conv 10_000
+       & info [ "steps" ] ~docv:"N" ~doc:"Step horizon (positive).")
 
 let algo_arg =
   let doc = "Algorithm: cc1|cc2|cc3|token-only|dining|central|cc1-no-token." in
@@ -324,23 +356,6 @@ let mp_cmd topo algo_name workload_name steps seed disc random_init bias
 
 (* validated argument converters, shared by `ccsim mp' and `ccsim net' *)
 
-let pos_int_conv =
-  let parse s =
-    match int_of_string_opt s with
-    | Some v when v > 0 -> Ok v
-    | _ -> Error (`Msg (Printf.sprintf "expected a positive integer, got %S" s))
-  in
-  Arg.conv ~docv:"N" (parse, Format.pp_print_int)
-
-let probability_conv =
-  let parse s =
-    match float_of_string_opt s with
-    | Some f when f >= 0. && f <= 1. -> Ok f
-    | _ ->
-      Error (`Msg (Printf.sprintf "expected a probability in [0,1], got %S" s))
-  in
-  Arg.conv ~docv:"P" (parse, fun ppf f -> Format.fprintf ppf "%g" f)
-
 let checked_steps_arg =
   Arg.(value & opt pos_int_conv 10_000
        & info [ "steps" ] ~docv:"N" ~doc:"Step horizon (positive).")
@@ -512,6 +527,27 @@ let lint_targets : (string * (module Model.ALGO) * Lint_report.rule list) list =
 
 let lint_default_topos = "fig1,ring6,path5,star5,single4"
 
+(* The exact tier enumerates full domain products, so its default families
+   are the small ones it finishes in seconds; triangle3 (minutes for CC3)
+   stays opt-in via -t. *)
+let lint_exact_default_topos = "single2,line3"
+
+module Lint_exact = Snapcc_statics.Exact
+module Lint_artifact = Snapcc_statics.Artifact
+
+(* Exact-tier instantiations of the lint targets: the committee algorithms
+   composed with a token layer as model-checkable systems, the baselines
+   directly (they ship their own domain/canon). *)
+let lint_exact_sys key token : (module Snapcc_mc.System.S) =
+  match key with
+  | "dining" -> (module Snapcc_mc.Systems.Dining_sys)
+  | "central" -> (module Snapcc_mc.Systems.Central_sys)
+  | k -> (
+    match Snapcc_mc.Systems.find k with
+    | Some e -> e.Snapcc_mc.Systems.make token
+    | None ->
+      or_die (Error (Printf.sprintf "no exact-tier system for %S" k)))
+
 let lint_finding_json (f : Lint_report.finding) =
   Tele.Json.Obj
     [ ("rule", Tele.Json.String (Lint_report.rule_name f.Lint_report.rule));
@@ -525,14 +561,41 @@ let lint_report_json (r : Lint_report.t) =
   Tele.Json.Obj
     [ ("algo", Tele.Json.String r.Lint_report.algo);
       ("topo", Tele.Json.String r.Lint_report.topo);
+      ("tier", Tele.Json.String r.Lint_report.tier);
       ("ok", Tele.Json.Bool (Lint_report.ok r));
       ("configs", Tele.Json.Int r.Lint_report.configs);
       ("evals", Tele.Json.Int r.Lint_report.evals);
       ("findings", Tele.Json.List (List.map lint_finding_json r.Lint_report.findings));
       ("waived", Tele.Json.List (List.map lint_finding_json r.Lint_report.waived));
-      ("dead", strs r.Lint_report.dead) ]
+      ("dead", strs r.Lint_report.dead);
+      ("dead_proven", strs r.Lint_report.dead_proven);
+      ("dead_unreached", strs r.Lint_report.dead_unreached) ]
 
-let lint_cmd topos algos seed seeds max_configs verbose emit_json =
+let lint_exact_json (r : Lint_report.t) (cov : Lint_exact.coverage)
+    (unmatched : Lint_report.finding list) =
+  match lint_report_json r with
+  | Tele.Json.Obj fields ->
+    Tele.Json.Obj
+      (fields
+      @ [ ("cells", Tele.Json.Int cov.Lint_exact.cells);
+          ("seconds", Tele.Json.Float cov.Lint_exact.seconds);
+          ("complete", Tele.Json.Bool cov.Lint_exact.complete);
+          ("stored", Tele.Json.Bool cov.Lint_exact.stored);
+          ("tainted", Tele.Json.Bool cov.Lint_exact.tainted);
+          ("proc_status",
+           Tele.Json.List
+             (List.map
+                (fun (p, reason) ->
+                  Tele.Json.Obj
+                    [ ("proc", Tele.Json.Int p);
+                      ("reason", Tele.Json.String reason) ])
+                cov.Lint_exact.proc_status));
+          ("agreement_unmatched",
+           Tele.Json.List (List.map lint_finding_json unmatched)) ])
+  | j -> j
+
+let lint_cmd topos algos seed seeds max_configs verbose emit_json exact token
+    tables_dir table_cap =
   let names s = String.split_on_char ',' s |> List.filter (fun x -> x <> "") in
   let targets =
     match algos with
@@ -547,41 +610,146 @@ let lint_cmd topos algos seed seeds max_configs verbose emit_json =
                                      a)))
         (names s)
   in
-  let topos = List.map (fun t -> (t, or_die (topology t))) (names topos) in
-  let reports =
+  let topos =
+    let s =
+      match topos with
+      | Some s -> s
+      | None -> if exact then lint_exact_default_topos else lint_default_topos
+    in
+    List.map (fun t -> (t, or_die (topology t))) (names s)
+  in
+  (* sampled tier, always: the exact tier judges its findings below *)
+  let sampled =
     List.concat_map
-      (fun (_, (module A : Model.ALGO), allow) ->
+      (fun (key, (module A : Model.ALGO), allow) ->
         let module An = Snapcc_statics.Analyze.Make (A) in
         List.map
-          (fun (topo, h) -> An.analyze ~seed ~seeds ~max_configs ~allow ~topo h)
+          (fun (topo, h) ->
+            (key, topo, An.analyze ~seed ~seeds ~max_configs ~allow ~topo h))
           topos)
       targets
   in
+  let disagreements = ref [] in
+  let sampled, exact_reports =
+    if not exact then (List.map (fun (_, _, r) -> r) sampled, [])
+    else begin
+      let exacts =
+        List.concat_map
+          (fun (key, _, allow) ->
+            let (module S : Snapcc_mc.System.S) = lint_exact_sys key token in
+            let module Ex = Lint_exact.Make (S) in
+            let module Tb = Snapcc_mc.Tables.Make (S) in
+            List.map
+              (fun (topo, h) ->
+                let report, cov, tb =
+                  Ex.run ?cap:table_cap ~allow ~algo:S.name ~topo h
+                in
+                (match tables_dir with
+                 | None -> ()
+                 | Some dir ->
+                   let file =
+                     Filename.concat dir
+                       (Printf.sprintf "tables-%s-%s.txt" key topo)
+                   in
+                   Lint_artifact.save file (Tb.to_portable ~algo:S.name ~topo tb));
+                (key, topo, report, cov))
+              topos)
+          targets
+      in
+      (* the baselines have no token layer; for the committee algorithms the
+         tiers only describe the same system when the tokens match *)
+      let comparable key = token = "tree" || key = "dining" || key = "central" in
+      let sampled' =
+        List.map
+          (fun (key, topo, (s : Lint_report.t)) ->
+            match
+              List.find_opt
+                (fun (k, t, _, _) -> k = key && t = topo && comparable key)
+                exacts
+            with
+            | None -> s
+            | Some (_, _, e, cov) ->
+              let unmatched = Lint_exact.agreement ~exact:e ~sampled:s in
+              if unmatched <> [] then
+                disagreements := (key, topo, unmatched) :: !disagreements;
+              (* reclassify sampled dead suspects on exact evidence *)
+              Lint_report.classify_dead ~proven:e.Lint_report.dead_proven
+                ~live:cov.Lint_exact.live s)
+          sampled
+      in
+      (sampled', exacts)
+    end
+  in
+  let exact_plain = List.map (fun (_, _, r, _) -> r) exact_reports in
+  let reports = sampled @ exact_plain in
   Format.printf "%a@." Table.pp (Lint_report.summary_table reports);
   List.iter
     (fun r ->
       if (not (Lint_report.ok r)) || r.Lint_report.waived <> [] || verbose then
         Format.printf "@.%a@." Table.pp (Lint_report.detail_table r))
     reports;
+  List.iter
+    (fun (key, topo, _, cov) ->
+      Format.printf
+        "exact %s on %s: %d (cell, mode) pairs in %.2fs%s%s@." key topo
+        cov.Lint_exact.cells cov.Lint_exact.seconds
+        (if cov.Lint_exact.complete then ", complete"
+         else ", INCOMPLETE (skipped passes)")
+        (if cov.Lint_exact.tainted then ", TAINTED" else "");
+      List.iter
+        (fun (p, reason) -> Format.printf "  proc %d: %s@." p reason)
+        cov.Lint_exact.proc_status)
+    exact_reports;
   let lines = List.concat_map Lint_report.to_lines reports in
   if lines <> [] then begin
     Format.printf "@.";
     List.iter (fun l -> Format.printf "%s@." l) lines
   end;
-  let ok = List.for_all Lint_report.ok reports in
+  List.iter
+    (fun (key, topo, unmatched) ->
+      List.iter
+        (fun (f : Lint_report.finding) ->
+          Format.printf
+            "lint algo=%s topo=%s disagreement: sampled %s finding on \
+             action=%s proc=%d not reproduced by the exact tier@."
+            key topo
+            (Lint_report.rule_name f.Lint_report.rule)
+            f.Lint_report.action f.Lint_report.proc)
+        unmatched)
+    !disagreements;
+  let ok = List.for_all Lint_report.ok reports && !disagreements = [] in
   (match emit_json with
    | None -> ()
    | Some file ->
+     let exact_json =
+       List.map
+         (fun (key, topo, r, cov) ->
+           let unmatched =
+             match
+               List.find_opt (fun (k, t, _) -> k = key && t = topo)
+                 !disagreements
+             with
+             | Some (_, _, u) -> u
+             | None -> []
+           in
+           lint_exact_json r cov unmatched)
+         exact_reports
+     in
      write_json file
        (Tele.Json.Obj
-          [ ("ok", Tele.Json.Bool ok);
-            ("reports", Tele.Json.List (List.map lint_report_json reports)) ]));
+          ([ ("ok", Tele.Json.Bool ok);
+             ("reports",
+              Tele.Json.List (List.map lint_report_json sampled)) ]
+          @ if exact then [ ("exact", Tele.Json.List exact_json) ] else [])));
   if not ok then exit 1
 
 let lint_topos_arg =
-  Arg.(value & opt string lint_default_topos
+  Arg.(value & opt (some string) None
        & info [ "t"; "topologies" ] ~docv:"TOPOS"
-           ~doc:"Comma-separated topologies to analyze (same names as --topology).")
+           ~doc:(Printf.sprintf
+                   "Comma-separated topologies to analyze (same names as \
+                    --topology).  Default %s, or %s with --exact."
+                   lint_default_topos lint_exact_default_topos))
 
 let lint_algos_arg =
   Arg.(value & opt string "all"
@@ -589,21 +757,52 @@ let lint_algos_arg =
            ~doc:"Comma-separated algorithms (cc1|cc2|cc3|dining|central), or `all'.")
 
 let lint_seeds_arg =
-  Arg.(value & opt int 24 & info [ "seeds" ] ~docv:"N"
+  Arg.(value & opt nonneg_int_conv 24 & info [ "seeds" ] ~docv:"N"
          ~doc:"Random (post-fault) configurations seeded into the exploration.")
 
 let lint_max_configs_arg =
-  Arg.(value & opt int 240 & info [ "max-configs" ] ~docv:"N"
+  Arg.(value & opt pos_int_conv 240 & info [ "max-configs" ] ~docv:"N"
          ~doc:"Cap on the exhaustive reachable-configuration enumeration.")
 
 let lint_verbose_arg =
   Arg.(value & flag & info [ "verbose" ]
          ~doc:"Print per-report detail tables even for clean passes.")
 
+let lint_exact_arg =
+  Arg.(value & flag
+       & info [ "exact" ]
+           ~doc:"Additionally run the exact tier: enumerate every process's \
+                 full domain-product support under all input modes, prove \
+                 (not sample) the side conditions and dead actions, check \
+                 that every sampled finding is reproduced by the exact \
+                 tier, and reclassify sampled dead-action suspects as \
+                 proven or unreached-in-sample.")
+
+let lint_token_arg =
+  Arg.(value & opt string "tree"
+       & info [ "token" ] ~docv:"TOKEN"
+           ~doc:"Token layer composed under cc1/cc2/cc3 for the exact tier \
+                 (vring|tree|null).  Sampled/exact agreement is only \
+                 checked for `tree', the layer the sampled targets use.")
+
+let lint_tables_arg =
+  Arg.(value & opt (some dir) None
+       & info [ "tables" ] ~docv:"DIR"
+           ~doc:"Write one snapcc-tables artifact per (algorithm, topology) \
+                 into DIR (requires --exact).")
+
+let lint_table_cap_arg =
+  Arg.(value & opt (some pos_int_conv) None
+       & info [ "table-cap" ] ~docv:"N"
+           ~doc:"Exact-tier enumeration cap on (cell, mode) pairs per \
+                 process (default 2^27); overruns are reported as skipped \
+                 passes, never silently truncated.")
+
 let lint_term =
   Term.(
     const lint_cmd $ lint_topos_arg $ lint_algos_arg $ seed_arg $ lint_seeds_arg
-    $ lint_max_configs_arg $ lint_verbose_arg $ emit_json_arg)
+    $ lint_max_configs_arg $ lint_verbose_arg $ emit_json_arg $ lint_exact_arg
+    $ lint_token_arg $ lint_tables_arg $ lint_table_cap_arg)
 
 (* ---- check (exhaustive model checker, lib/mc) ---- *)
 

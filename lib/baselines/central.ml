@@ -175,3 +175,39 @@ let random_init h rng p =
 let observe _h states p =
   let st : state = states.(p) in
   Obs.make ~pointer:st.ptr ~discussions:st.disc (to_obs_status st.s)
+
+(* Exhaustive per-process domain for the model checker and the exact static
+   tier.  The coordinator's state includes the published plan, so its domain
+   is the product over all professors of their possible assignments (each
+   entry [None] or an incident committee of that professor — what
+   [random_init] draws); everyone else carries the empty plan.  [disc] is
+   observability only and pinned to 0. *)
+let domain h p =
+  let n = H.n h in
+  let ptrs =
+    None :: List.map (fun e -> Some e) (Array.to_list (H.incident h p))
+  in
+  let plans =
+    if p <> coordinator then [ [||] ]
+    else
+      let entry_opts q =
+        None :: List.map (fun e -> Some e) (Array.to_list (H.incident h q))
+      in
+      let rec build q =
+        if q = n then [ [] ]
+        else
+          let rest = build (q + 1) in
+          List.concat_map
+            (fun entry -> List.map (fun tl -> entry :: tl) rest)
+            (entry_opts q)
+      in
+      List.map Array.of_list (build 0)
+  in
+  List.concat_map
+    (fun s ->
+      List.concat_map
+        (fun ptr -> List.map (fun plan -> { s; ptr; plan; disc = 0 }) plans)
+        ptrs)
+    [ Idle; Looking; Waiting; Done ]
+
+let canon _h _p (st : state) = { st with disc = 0 }

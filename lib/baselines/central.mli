@@ -19,3 +19,11 @@ include Snapcc_runtime.Model.ALGO with type state := state
 
 val coordinator : int
 (** The manager's vertex (0). *)
+
+val domain : Snapcc_hypergraph.Hypergraph.t -> int -> state list
+(** Exhaustive per-process domain; the coordinator's includes the product
+    of all possible published plans — makes the baseline a
+    {!Snapcc_mc.System.S}.  [disc] is pinned to 0. *)
+
+val canon : Snapcc_hypergraph.Hypergraph.t -> int -> state -> state
+(** Pins the observability-only [disc] counter to 0. *)

@@ -166,3 +166,20 @@ let random_init h rng p =
 let observe _h states p =
   let st : state = states.(p) in
   Obs.make ~pointer:st.owner ~discussions:st.disc (to_obs_status st.s)
+
+(* Exhaustive per-process domain for the model checker and the exact static
+   tier: exactly the set [random_init] draws from ([disc] is observability
+   only — never read by a guard or statement — so it is pinned to 0). *)
+let domain h p =
+  let opts =
+    None :: List.map (fun e -> Some e) (Array.to_list (H.incident h p))
+  in
+  List.concat_map
+    (fun s ->
+      List.concat_map
+        (fun owner ->
+          List.map (fun choice -> { s; owner; choice; disc = 0 }) opts)
+        opts)
+    [ Idle; Looking; Waiting; Done ]
+
+let canon _h _p (st : state) = { st with disc = 0 }

@@ -24,3 +24,10 @@ val host : Snapcc_hypergraph.Hypergraph.t -> int -> int
 
 val hosted : Snapcc_hypergraph.Hypergraph.t -> int -> int list
 (** Committees hosted at a professor. *)
+
+val domain : Snapcc_hypergraph.Hypergraph.t -> int -> state list
+(** Exhaustive per-process domain ([status × owner × choice], [disc]
+    pinned to 0) — makes the baseline a {!Snapcc_mc.System.S}. *)
+
+val canon : Snapcc_hypergraph.Hypergraph.t -> int -> state -> state
+(** Pins the observability-only [disc] counter to 0. *)

@@ -11,13 +11,8 @@ type violation = {
   selected : int list;
 }
 
-let mode_inputs =
-  [| Model.no_inputs;
-     Model.always_in;
-     { Model.request_in = (fun _ -> false); request_out = (fun _ -> true) };
-     { Model.request_in = (fun _ -> true); request_out = (fun _ -> true) } |]
-
-let mode_names = [| "quiet"; "in"; "out"; "in+out" |]
+let mode_inputs = Array.map snd Model.input_modes
+let mode_names = Array.map fst Model.input_modes
 let mode_name i = if i < 0 || i >= Array.length mode_names then "-" else mode_names.(i)
 let inout_mode = 3
 
@@ -30,6 +25,7 @@ let bits_list mask =
 
 module Make (Sys : System.S) = struct
   module Enc = Encode.Make (Sys)
+  module Tb = Tables.Make (Sys)
 
   type result = {
     h : H.t;
@@ -105,11 +101,13 @@ module Make (Sys : System.S) = struct
     up cid []
 
   let explore ?(max_configs = 1_500_000) ?(roots = `Domain)
-      ?(stop_on_first = false) ?on_progress h =
+      ?(stop_on_first = false) ?on_progress ?tables h =
     let n = H.n h and m = H.m h in
     if n > 16 then failwith "Mc.Explore: more than 16 processes unsupported";
     if m > 62 then failwith "Mc.Explore: more than 62 committees unsupported";
-    let enc = Enc.create h in
+    (* adopt the tables' interner so their packed successor ids are valid
+       here; a fresh one is only built when running closure-only *)
+    let enc = match tables with Some tb -> Tb.enc tb | None -> Enc.create h in
     let actions = Array.of_list (Sys.actions h) in
     let nact = Array.length actions in
     let r =
@@ -237,17 +235,32 @@ module Make (Sys : System.S) = struct
           let inputs = mode_inputs.(mode) in
           let enabled = ref 0 in
           for p = 0 to n - 1 do
-            let ctx = { Model.h; inputs; read; self = p } in
-            let rec scan i =
-              if i < 0 then -1
-              else if actions.(i).Model.guard ctx then i
-              else scan (i - 1)
+            let e =
+              match tables with
+              | Some tb -> Tb.entry tb ~mode ~proc:p cfg
+              | None -> -2
             in
-            let i = scan (nact - 1) in
-            act_idx.(p) <- i;
-            if i >= 0 then begin
+            if e = -1 then act_idx.(p) <- -1
+            else if e >= 0 then begin
+              act_idx.(p) <- Tables.entry_act e;
               enabled := !enabled lor (1 lsl p);
-              succ_ids.(p) <- Enc.intern enc p (actions.(i).Model.apply ctx)
+              succ_ids.(p) <- Tables.entry_succ e
+            end
+            else begin
+              (* no packed entry for this (process, configuration): run
+                 the guard closures as usual *)
+              let ctx = { Model.h; inputs; read; self = p } in
+              let rec scan i =
+                if i < 0 then -1
+                else if actions.(i).Model.guard ctx then i
+                else scan (i - 1)
+              in
+              let i = scan (nact - 1) in
+              act_idx.(p) <- i;
+              if i >= 0 then begin
+                enabled := !enabled lor (1 lsl p);
+                succ_ids.(p) <- Enc.intern enc p (actions.(i).Model.apply ctx)
+              end
             end
           done;
           if mode = inout_mode then Vec.set r.enab_inout cid !enabled;

@@ -42,6 +42,7 @@ module Make (Sys : System.S) : sig
     ?roots:[ `Domain | `States of Sys.state array list ] ->
     ?stop_on_first:bool ->
     ?on_progress:(configs:int -> transitions:int -> unit) ->
+    ?tables:Tables.Make(Sys).t ->
     Snapcc_hypergraph.Hypergraph.t ->
     result
   (** [explore h] runs to exhaustion of the domain product ([`Domain], the
@@ -49,7 +50,14 @@ module Make (Sys : System.S) : sig
       configurations ([`States]), up to [max_configs] (default 1.5M)
       stored configurations.  [stop_on_first] aborts at the first safety
       violation; [on_progress] is invoked every few ten-thousand processed
-      configurations. *)
+      configurations.
+
+      [tables] switches guard evaluation to the packed fast path: per
+      (mode, process) the chosen action and successor come from a
+      {!Tables.Make.entry} lookup, falling back to the guard closures only
+      where no entry is stored.  The tables' interner is adopted wholesale,
+      so results are bit-for-bit the ones the closure path computes (modulo
+      escapee interning order). *)
 
   (** {2 Outcome} *)
 

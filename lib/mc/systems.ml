@@ -80,6 +80,16 @@ module Cc23_sys
     ({ c with Cc23.cur; disc = 0 }, t)
 end
 
+(* The §6 baselines already expose [domain]/[canon]; re-package them as
+   systems for the exact static tier (they are not [all] entries: the
+   checker's progress analysis presumes the paper's committee observables,
+   and the baselines make no stabilization claim worth exploring). *)
+module Dining_sys : System.S with type state = Snapcc_baselines.Dining.state =
+  Snapcc_baselines.Dining
+
+module Central_sys : System.S with type state = Snapcc_baselines.Central.state =
+  Snapcc_baselines.Central
+
 type entry = {
   key : string;
   title : string;

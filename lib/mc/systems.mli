@@ -7,6 +7,15 @@
     which is invisible to every guard and statement, so the quotient is
     exact.  Token domains come from {!Snapcc_token.Layer.S.domain}. *)
 
+module Dining_sys : System.S with type state = Snapcc_baselines.Dining.state
+(** The §6 dining-philosophers baseline as a checkable system (used by the
+    exact static tier; not an {!all} entry — the baselines make no
+    stabilization claim, so the checker's progress analysis does not apply). *)
+
+module Central_sys : System.S with type state = Snapcc_baselines.Central.state
+(** The §6 centralized-manager baseline as a checkable system (deliberately
+    non-local: analyses must waive {!Snapcc_statics.Report.Locality}). *)
+
 type entry = {
   key : string;  (** CLI name, e.g. ["cc1"], ["cc1-inverted"] *)
   title : string;

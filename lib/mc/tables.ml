@@ -1,0 +1,534 @@
+(* Dense guard/footprint tables over the interned per-process state domains
+   (lib/statics' exact tier and the explorer's table-driven fast path).
+
+   For each process [p] the builder enumerates the full product of the
+   declared domains of [p]'s read support (its closed neighborhood,
+   extended on demand when an evaluation reads beyond it) under every
+   uniform input mode, evaluating the engine's backwards priority scan on
+   every cell.  The verdicts are therefore absolute over the declared
+   domains — not relative to a sampled reachable set.
+
+   Evidence is accumulated as incidents (locality, write-ownership,
+   determinism, crash-freedom), per-action guard-true counts (dead-action
+   proofs), priority-overlap occurrences, and — for processes whose product
+   fits the storage cap — packed per-(process, mode) entry tables keyed by
+   dense state ids, which {!Explore} can execute by lookup instead of
+   re-running the guard closures per transition. *)
+
+module H = Snapcc_hypergraph.Hypergraph
+module Model = Snapcc_runtime.Model
+
+let nmodes = Array.length Model.input_modes
+
+type incident =
+  | Nonlocal_read of { proc : int; action : string; read : int }
+  | Foreign_mutation of { proc : int; victim : int }
+  | Nondet of { proc : int; action : string; what : [ `Guard | `Apply ] }
+  | Crashed of {
+      proc : int;
+      action : string;
+      what : [ `Guard | `Apply ];
+      exn : string;
+    }
+
+(* Packed entry: [act] (6 bits) | [changes] (1) | [reads] (16-bit process
+   mask: scan + statement) | [succ] (dense successor id of the executing
+   process).  [-1] = no action enabled; [-2] = unavailable (no stored
+   table, or an escapee id in the support). *)
+
+let entry_act e = e land 0x3f
+let entry_changes e = e land 0x40 <> 0
+let entry_reads e = (e lsr 7) land 0xffff
+let entry_succ e = e lsr 23
+
+let pack ~act ~changes ~reads ~succ =
+  act lor ((if changes then 1 else 0) lsl 6) lor (reads lsl 7) lor (succ lsl 23)
+
+type proc_tbl = {
+  support : int array;  (** processes read, ascending; includes the owner *)
+  sizes : int array;  (** domain size per support process *)
+  strides : int array;  (** row-major, last support process fastest *)
+  entries : int array array;  (** per input mode, [Π sizes] packed entries *)
+}
+
+(** Functor-free image of the tables, for serialization ({!Snapcc_statics}
+    artifacts) and cross-module transport. *)
+type portable = {
+  p_algo : string;
+  p_topo : string;
+  p_n : int;
+  p_labels : string array;
+  p_dom : int array;  (** declared-domain size per process *)
+  p_procs : (proc_tbl, string) result array;  (** [Error reason] = skipped *)
+}
+
+let bits_of_mask m =
+  let rec go p m acc =
+    if m = 0 then List.rev acc
+    else go (p + 1) (m lsr 1) (if m land 1 = 1 then p :: acc else acc)
+  in
+  go 0 m []
+
+module Make (Sys : System.S) = struct
+  module Enc = Encode.Make (Sys)
+
+  exception Need of int
+  (* an evaluation read a process outside the current support: extend and
+     restart the pass for this process *)
+
+  type t = {
+    h : H.t;
+    enc : Enc.t;
+    labels : string array;
+    supports : int array array;
+    tables : (proc_tbl, string) result array;
+    guard_true : int array;
+    overlaps : (string list * int * int) list;  (* labels, cells, example *)
+    incidents : (incident * int) list;
+    cells : int;  (* (cell, mode) pairs enumerated, all processes *)
+    streamed : bool array;  (* pass completed but entries were not stored *)
+    seconds : float;
+    tainted : bool;  (* an in-place mutation corrupted the interned states *)
+  }
+
+  let enc t = t.enc
+  let labels t = t.labels
+  let guard_true t = Array.copy t.guard_true
+  let overlaps t = t.overlaps
+  let incidents t = t.incidents
+  let cells t = t.cells
+  let seconds t = t.seconds
+  let tainted t = t.tainted
+  let support t p = t.supports.(p)
+
+  let status t p =
+    match t.tables.(p) with
+    | Ok _ -> `Built
+    | Error r -> if t.streamed.(p) then `Streamed r else `Skipped r
+
+  let built t =
+    Array.for_all (fun tb -> match tb with Ok _ -> true | Error _ -> false)
+      t.tables
+
+  let complete t =
+    Array.for_all Fun.id
+      (Array.mapi
+         (fun p tb ->
+           match tb with Ok _ -> true | Error _ -> t.streamed.(p))
+         t.tables)
+
+  let entry t ~mode ~proc cfg =
+    match t.tables.(proc) with
+    | Error _ -> -2
+    | Ok tb ->
+      let k = Array.length tb.support in
+      let idx = ref 0 in
+      let ok = ref true in
+      for j = 0 to k - 1 do
+        let id = cfg.(tb.support.(j)) in
+        if id >= tb.sizes.(j) then ok := false
+        else idx := !idx + (id * tb.strides.(j))
+      done;
+      if !ok then tb.entries.(mode).(!idx) else -2
+
+  let build ?(verify = false) ?(cap = 1 lsl 27) ?(store_cap = 1 lsl 24) h =
+    let t0 = Stdlib.Sys.time () in
+    let n = H.n h in
+    if n > 16 then failwith "Mc.Tables: more than 16 processes unsupported";
+    let enc = Enc.create h in
+    let actions = Array.of_list (Sys.actions h) in
+    let nact = Array.length actions in
+    if nact > 63 then failwith "Mc.Tables: more than 63 actions unsupported";
+    let labels =
+      Array.map (fun (a : _ Model.action) -> a.Model.label) actions
+    in
+    let dom_states =
+      Array.init n (fun p ->
+          let d = Enc.domain_count enc p in
+          if d = 0 then failwith "Mc.Tables: empty declared domain";
+          Array.init d (Enc.state enc p))
+    in
+    let fp s = Format.asprintf "%a" Sys.pp_state s in
+    let fps = if verify then Array.map (Array.map fp) dom_states else [||] in
+    let neighbors_mask =
+      Array.init n (fun p ->
+          let m = ref (1 lsl p) in
+          for q = 0 to n - 1 do
+            if q <> p && H.are_neighbors h p q then m := !m lor (1 lsl q)
+          done;
+          !m)
+    in
+    let guard_true = Array.make nact 0 in
+    let incidents : (incident, int) Hashtbl.t = Hashtbl.create 32 in
+    let overlaps : (int, int * int) Hashtbl.t = Hashtbl.create 32 in
+    let supports = Array.make n [||] in
+    let tables = Array.make n (Error "not built") in
+    let streamed = Array.make n false in
+    let cells = ref 0 in
+    let tainted = ref false in
+
+    (* One full pass over the support product of process [p]; raises
+       [Need q] (restarting with a larger support) if an evaluation reads
+       beyond the current support.  Local accumulators keep restarts from
+       double-counting. *)
+    let rec attempt p support_mask =
+      let l_guard_true = Array.make nact 0 in
+      let l_incidents : (incident, int) Hashtbl.t = Hashtbl.create 8 in
+      let l_overlaps : (int, int * int) Hashtbl.t = Hashtbl.create 8 in
+      let l_cells = ref 0 in
+      let incident i =
+        Hashtbl.replace l_incidents i
+          (1 + Option.value ~default:0 (Hashtbl.find_opt l_incidents i))
+      in
+      let support = Array.of_list (bits_of_mask support_mask) in
+      let k = Array.length support in
+      let sizes = Array.map (fun q -> Enc.domain_count enc q) support in
+      let fcells =
+        Array.fold_left (fun a s -> a *. float_of_int s) 1.0 sizes
+      in
+      if fcells *. float_of_int nmodes > float_of_int cap then begin
+        supports.(p) <- support;
+        tables.(p) <-
+          Error
+            (Printf.sprintf
+               "product %.3g cells x %d modes exceeds the enumeration cap %d"
+               fcells nmodes cap)
+      end
+      else begin
+        let ncells = int_of_float fcells in
+        let strides = Array.make k 1 in
+        for j = k - 2 downto 0 do
+          strides.(j) <- strides.(j + 1) * sizes.(j + 1)
+        done;
+        let store = ncells * nmodes <= store_cap in
+        let entries =
+          if store then Array.init nmodes (fun _ -> Array.make ncells (-1))
+          else [||]
+        in
+        let idx_p = ref 0 in
+        Array.iteri (fun j q -> if q = p then idx_p := j) support;
+        let idx_p = !idx_p in
+        let ids = Array.make k 0 in
+        let sts = Array.init n (fun q -> dom_states.(q).(0)) in
+        Array.iteri (fun j q -> sts.(q) <- dom_states.(q).(ids.(j))) support;
+        let reads = ref 0 in
+        let input_read = ref false in
+        let cur_label = ref "" in
+        let read q =
+          if support_mask land (1 lsl q) = 0 then raise (Need q);
+          reads := !reads lor (1 lsl q);
+          if neighbors_mask.(p) land (1 lsl q) = 0 then
+            incident (Nonlocal_read { proc = p; action = !cur_label; read = q });
+          sts.(q)
+        in
+        let ctxs =
+          Array.map
+            (fun (_, (base : Model.inputs)) ->
+              { Model.h;
+                inputs =
+                  { Model.request_in =
+                      (fun q ->
+                        input_read := true;
+                        base.Model.request_in q);
+                    request_out =
+                      (fun q ->
+                        input_read := true;
+                        base.Model.request_out q) };
+                read;
+                self = p })
+            Model.input_modes
+        in
+        (* per-cell caches, indexed by action *)
+        let g_val = Array.make nact false in
+        let g_reads = Array.make nact 0 in
+        let g_input = Array.make nact false in
+        let a_succ = Array.make nact min_int in  (* min_int unset, -2 crash *)
+        let a_reads = Array.make nact 0 in
+        let a_input = Array.make nact false in
+        let eval_guard mode i =
+          reads := 0;
+          input_read := false;
+          cur_label := labels.(i);
+          let g =
+            match actions.(i).Model.guard ctxs.(mode) with
+            | g -> g
+            | exception (Need _ as e) -> raise e
+            | exception exn ->
+              incident
+                (Crashed
+                   { proc = p; action = labels.(i); what = `Guard;
+                     exn = Printexc.to_string exn });
+              false
+          in
+          (if verify then
+             match actions.(i).Model.guard ctxs.(mode) with
+             | g2 ->
+               if g <> g2 then
+                 incident
+                   (Nondet { proc = p; action = labels.(i); what = `Guard })
+             | exception (Need _ as e) -> raise e
+             | exception exn ->
+               incident
+                 (Crashed
+                    { proc = p; action = labels.(i); what = `Guard;
+                      exn = Printexc.to_string exn }));
+          g_val.(i) <- g;
+          g_reads.(i) <- !reads;
+          g_input.(i) <- !input_read
+        in
+        let eval_apply mode i =
+          reads := 0;
+          input_read := false;
+          cur_label := labels.(i);
+          (match actions.(i).Model.apply ctxs.(mode) with
+          | exception (Need _ as e) -> raise e
+          | exception exn ->
+            incident
+              (Crashed
+                 { proc = p; action = labels.(i); what = `Apply;
+                   exn = Printexc.to_string exn });
+            a_succ.(i) <- -2
+          | s1 ->
+            (if verify then
+               match actions.(i).Model.apply ctxs.(mode) with
+               | s2 ->
+                 if not (Sys.equal_state s1 s2) then
+                   incident
+                     (Nondet { proc = p; action = labels.(i); what = `Apply })
+               | exception (Need _ as e) -> raise e
+               | exception exn ->
+                 incident
+                   (Crashed
+                      { proc = p; action = labels.(i); what = `Apply;
+                        exn = Printexc.to_string exn }));
+            a_succ.(i) <- Enc.intern enc p s1);
+          a_reads.(i) <- !reads;
+          a_input.(i) <- !input_read
+        in
+        let cell = ref 0 in
+        let continue_ = ref true in
+        while !continue_ do
+          Array.fill a_succ 0 nact min_int;
+          for mode = 0 to nmodes - 1 do
+            (* guards whose first evaluation consulted no input predicate
+               are mode-independent: reuse their mode-0 verdict *)
+            for i = nact - 1 downto 0 do
+              if mode = 0 || g_input.(i) then eval_guard mode i
+            done;
+            let mask = ref 0 in
+            for i = 0 to nact - 1 do
+              if g_val.(i) then begin
+                mask := !mask lor (1 lsl i);
+                l_guard_true.(i) <- l_guard_true.(i) + 1
+              end
+            done;
+            let mask = !mask in
+            if mask <> 0 && mask land (mask - 1) <> 0 then begin
+              match Hashtbl.find_opt l_overlaps mask with
+              | Some (c, ex) -> Hashtbl.replace l_overlaps mask (c + 1, ex)
+              | None -> Hashtbl.replace l_overlaps mask (1, p)
+            end;
+            incr l_cells;
+            let chosen =
+              let rec top i =
+                if i < 0 then -1 else if g_val.(i) then i else top (i - 1)
+              in
+              top (nact - 1)
+            in
+            if chosen >= 0 then begin
+              if a_succ.(chosen) = min_int || a_input.(chosen) then
+                eval_apply mode chosen;
+              if store then
+                entries.(mode).(!cell) <-
+                  (if a_succ.(chosen) = -2 then -1
+                   else begin
+                     let rm = ref a_reads.(chosen) in
+                     for i = chosen to nact - 1 do
+                       rm := !rm lor g_reads.(i)
+                     done;
+                     pack ~act:chosen
+                       ~changes:(a_succ.(chosen) <> ids.(idx_p))
+                       ~reads:!rm ~succ:a_succ.(chosen)
+                   end)
+            end
+          done;
+          (* odometer: last support process fastest, so [cell] just counts *)
+          incr cell;
+          let rec adv j =
+            if j < 0 then continue_ := false
+            else begin
+              ids.(j) <- ids.(j) + 1;
+              if ids.(j) >= sizes.(j) then begin
+                ids.(j) <- 0;
+                sts.(support.(j)) <- dom_states.(support.(j)).(0);
+                adv (j - 1)
+              end
+              else sts.(support.(j)) <- dom_states.(support.(j)).(ids.(j))
+            end
+          in
+          adv (k - 1)
+        done;
+        (* in-place mutation check: every interned domain state must print
+           the same after the pass as before it *)
+        if verify then
+          Array.iteri
+            (fun q states ->
+              Array.iteri
+                (fun i s ->
+                  if not (String.equal (fp s) fps.(q).(i)) then begin
+                    incident (Foreign_mutation { proc = p; victim = q });
+                    tainted := true;
+                    fps.(q).(i) <- fp s
+                  end)
+                states)
+            dom_states;
+        supports.(p) <- support;
+        (if store then tables.(p) <- Ok { support; sizes; strides; entries }
+         else begin
+           (* the pass itself completed: verdicts are exact, only the packed
+              entries were too large to keep *)
+           streamed.(p) <- true;
+           tables.(p) <-
+             Error
+               (Printf.sprintf
+                  "streamed: %d cells x %d modes exceeds the table storage \
+                   cap %d"
+                  ncells nmodes store_cap)
+         end)
+      end;
+      (* merge the completed pass into the global accumulators *)
+      Array.iteri (fun i c -> guard_true.(i) <- guard_true.(i) + c) l_guard_true;
+      Hashtbl.iter
+        (fun i c ->
+          Hashtbl.replace incidents i
+            (c + Option.value ~default:0 (Hashtbl.find_opt incidents i)))
+        l_incidents;
+      Hashtbl.iter
+        (fun m (c, ex) ->
+          match Hashtbl.find_opt overlaps m with
+          | Some (c0, ex0) -> Hashtbl.replace overlaps m (c0 + c, ex0)
+          | None -> Hashtbl.replace overlaps m (c, ex))
+        l_overlaps;
+      cells := !cells + !l_cells
+    and run_proc p support_mask =
+      match attempt p support_mask with
+      | () -> ()
+      | exception Need q -> run_proc p (support_mask lor (1 lsl q))
+      | exception Failure msg ->
+        (* e.g. interning overflow after an in-place mutation corrupted the
+           hash-consing tables: record and move on *)
+        supports.(p) <- [||];
+        tables.(p) <- Error msg;
+        streamed.(p) <- false;
+        tainted := true
+    in
+    for p = 0 to n - 1 do
+      run_proc p neighbors_mask.(p)
+    done;
+    let overlaps =
+      Hashtbl.fold
+        (fun mask (c, ex) acc ->
+          (List.map (fun i -> labels.(i)) (bits_of_mask mask), c, ex) :: acc)
+        overlaps []
+      |> List.sort compare
+    in
+    let incidents =
+      Hashtbl.fold (fun i c acc -> (i, c) :: acc) incidents []
+      |> List.sort compare
+    in
+    { h; enc; labels; supports; tables; guard_true; overlaps; incidents;
+      cells = !cells; streamed;
+      seconds = Stdlib.Sys.time () -. t0; tainted = !tainted }
+
+  (* Read/write interference, exactly: for every ordered pair of neighbors
+     (writer, reader) with stored tables, iterate the product over the
+     union of their supports and count the cells where the writer's chosen
+     action changes its state while the reader's evaluation (scan +
+     statement) reads the writer. *)
+  let interference ?(cap = 1 lsl 27) t =
+    let n = H.n t.h in
+    let acc : (string * string, int) Hashtbl.t = Hashtbl.create 32 in
+    for p = 0 to n - 1 do
+      for q = 0 to n - 1 do
+        if p <> q && H.are_neighbors t.h p q then
+          match (t.tables.(p), t.tables.(q)) with
+          | Ok tp, Ok tq ->
+            let union =
+              Array.of_list
+                (List.sort_uniq compare
+                   (Array.to_list tp.support @ Array.to_list tq.support))
+            in
+            let k = Array.length union in
+            let sizes =
+              Array.map (fun r -> Enc.domain_count t.enc r) union
+            in
+            let fcells =
+              Array.fold_left (fun a s -> a *. float_of_int s) 1.0 sizes
+            in
+            if fcells *. float_of_int nmodes <= float_of_int cap then begin
+              (* per-table index increments per union digit *)
+              let contrib tb =
+                Array.map
+                  (fun r ->
+                    let s = ref 0 in
+                    Array.iteri
+                      (fun j r' -> if r' = r then s := tb.strides.(j))
+                      tb.support;
+                    !s)
+                  union
+              in
+              let cp = contrib tp and cq = contrib tq in
+              let ids = Array.make k 0 in
+              let ip = ref 0 and iq = ref 0 in
+              let continue_ = ref true in
+              while !continue_ do
+                for mode = 0 to nmodes - 1 do
+                  let ep = tp.entries.(mode).(!ip) in
+                  if ep >= 0 && entry_changes ep then begin
+                    let eq = tq.entries.(mode).(!iq) in
+                    if eq >= 0 && entry_reads eq land (1 lsl p) <> 0 then begin
+                      let key =
+                        (t.labels.(entry_act ep), t.labels.(entry_act eq))
+                      in
+                      Hashtbl.replace acc key
+                        (1 + Option.value ~default:0 (Hashtbl.find_opt acc key))
+                    end
+                  end
+                done;
+                let rec adv j =
+                  if j < 0 then continue_ := false
+                  else begin
+                    ids.(j) <- ids.(j) + 1;
+                    ip := !ip + cp.(j);
+                    iq := !iq + cq.(j);
+                    if ids.(j) >= sizes.(j) then begin
+                      ip := !ip - (sizes.(j) * cp.(j));
+                      iq := !iq - (sizes.(j) * cq.(j));
+                      ids.(j) <- 0;
+                      adv (j - 1)
+                    end
+                  end
+                in
+                adv (k - 1)
+              done
+            end
+          | _ -> ()
+      done
+    done;
+    Hashtbl.fold (fun (w, r) c acc -> (w, r, c) :: acc) acc []
+    |> List.sort compare
+
+  let to_portable ~algo ~topo t =
+    { p_algo = algo;
+      p_topo = topo;
+      p_n = H.n t.h;
+      p_labels = Array.copy t.labels;
+      p_dom =
+        Array.init (H.n t.h) (fun p -> Enc.domain_count t.enc p);
+      p_procs =
+        Array.map
+          (function
+            | Ok (tb : proc_tbl) -> Ok tb
+            | Error r -> Error r)
+          t.tables }
+end

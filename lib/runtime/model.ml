@@ -6,6 +6,13 @@ type inputs = {
 let no_inputs = { request_in = (fun _ -> false); request_out = (fun _ -> false) }
 let always_in = { request_in = (fun _ -> true); request_out = (fun _ -> false) }
 
+let input_modes =
+  [| ("quiet", no_inputs);
+     ("in", always_in);
+     ("out", { request_in = (fun _ -> false); request_out = (fun _ -> true) });
+     ("in+out", { request_in = (fun _ -> true); request_out = (fun _ -> true) });
+  |]
+
 type 'state ctx = {
   h : Snapcc_hypergraph.Hypergraph.t;
   inputs : inputs;

@@ -21,6 +21,12 @@ val no_inputs : inputs
 val always_in : inputs
 (** [RequestIn] constantly true, [RequestOut] constantly false. *)
 
+val input_modes : (string * inputs) array
+(** The four uniform input modes the analysis tools quantify over, applied
+    to all processes alike: ["quiet"] (no requests), ["in"], ["out"],
+    ["in+out"].  Shared by the static analyzer ([lib/statics]) and the
+    model checker ([lib/mc]) so their input coverage cannot drift apart. *)
+
 type 'state ctx = {
   h : Snapcc_hypergraph.Hypergraph.t;
   inputs : inputs;

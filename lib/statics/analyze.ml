@@ -4,12 +4,7 @@ module IntSet = Set.Make (Int)
 
 (* Uniform input modes: guards may branch on the request predicates, so the
    checks run under every combination (applied to all processes alike). *)
-let input_modes =
-  [ ("quiet", Model.no_inputs);
-    ("in", Model.always_in);
-    ("out", { Model.request_in = (fun _ -> false); request_out = (fun _ -> true) });
-    ("in+out", { Model.request_in = (fun _ -> true); request_out = (fun _ -> true) });
-  ]
+let input_modes = Array.to_list Model.input_modes
 
 module Make (A : Model.ALGO) = struct
   (* Printed-state fingerprints stand in for a generic deep copy: they are
@@ -280,6 +275,7 @@ module Make (A : Model.ALGO) = struct
     {
       Report.algo = A.name;
       topo;
+      tier = "sampled";
       configs = !analyzed;
       evals = !evals;
       findings = violations;
@@ -287,5 +283,7 @@ module Make (A : Model.ALGO) = struct
       overlaps;
       interference;
       dead;
+      dead_proven = [];
+      dead_unreached = [];
     }
 end

@@ -1,0 +1,199 @@
+(* Versioned, line-oriented serialization of the exact tier's packed
+   guard/footprint tables ([Snapcc_mc.Tables.portable]).
+
+   The format is texty on purpose — artifacts are meant to be diffed and
+   inspected in CI — but entry rows are run-length encoded: the dominant
+   value by far is -1 (no action enabled), so tables compress well. *)
+
+module Tables = Snapcc_mc.Tables
+
+let magic = "snapcc-tables v1"
+
+let ints_line prefix xs =
+  prefix
+  ^ (Array.to_list xs |> List.map string_of_int |> String.concat " ")
+
+(* run-length encoding of an entry row: "value*count" words *)
+let rle_words (xs : int array) =
+  let buf = Buffer.create 256 in
+  let n = Array.length xs in
+  let i = ref 0 in
+  while !i < n do
+    let v = xs.(!i) in
+    let j = ref !i in
+    while !j < n && xs.(!j) = v do
+      incr j
+    done;
+    if Buffer.length buf > 0 then Buffer.add_char buf ' ';
+    Buffer.add_string buf (string_of_int v);
+    if !j - !i > 1 then begin
+      Buffer.add_char buf '*';
+      Buffer.add_string buf (string_of_int (!j - !i))
+    end;
+    i := !j
+  done;
+  Buffer.contents buf
+
+let to_lines (p : Tables.portable) =
+  let lines = ref [] in
+  let push l = lines := l :: !lines in
+  push magic;
+  push ("algo " ^ p.Tables.p_algo);
+  push ("topo " ^ p.Tables.p_topo);
+  push (Printf.sprintf "n %d" p.Tables.p_n);
+  push (Printf.sprintf "nlabels %d" (Array.length p.Tables.p_labels));
+  Array.iter push p.Tables.p_labels;
+  push (ints_line "dom " p.Tables.p_dom);
+  Array.iteri
+    (fun i proc ->
+      match proc with
+      | Error reason -> push (Printf.sprintf "proc %d skipped %s" i reason)
+      | Ok (tb : Tables.proc_tbl) ->
+        push (Printf.sprintf "proc %d table" i);
+        push (ints_line "support " tb.Tables.support);
+        push (ints_line "sizes " tb.Tables.sizes);
+        push (ints_line "strides " tb.Tables.strides);
+        push (Printf.sprintf "nmodes %d" (Array.length tb.Tables.entries));
+        Array.iter
+          (fun row ->
+            push (Printf.sprintf "mode %d" (Array.length row));
+            push (rle_words row))
+          tb.Tables.entries)
+    p.Tables.p_procs;
+  push "end";
+  List.rev !lines
+
+exception Bad of string
+
+let of_lines lines =
+  let lines = ref lines in
+  let next what =
+    match !lines with
+    | [] -> raise (Bad (Printf.sprintf "truncated artifact (expected %s)" what))
+    | l :: rest ->
+      lines := rest;
+      l
+  in
+  let field key =
+    let l = next key in
+    let kl = String.length key in
+    if String.length l > kl && String.sub l 0 (kl + 1) = key ^ " " then
+      String.sub l (kl + 1) (String.length l - kl - 1)
+    else raise (Bad (Printf.sprintf "expected %S line, got %S" key l))
+  in
+  let int_field key =
+    match int_of_string_opt (field key) with
+    | Some i -> i
+    | None -> raise (Bad (Printf.sprintf "non-integer %s field" key))
+  in
+  let ints_field key =
+    field key |> String.split_on_char ' '
+    |> List.filter (fun s -> s <> "")
+    |> List.map (fun s ->
+           match int_of_string_opt s with
+           | Some i -> i
+           | None -> raise (Bad (Printf.sprintf "non-integer in %s row" key)))
+    |> Array.of_list
+  in
+  try
+    (match next "magic" with
+    | l when l = magic -> ()
+    | l -> raise (Bad (Printf.sprintf "bad magic %S (expected %S)" l magic)));
+    let p_algo = field "algo" in
+    let p_topo = field "topo" in
+    let p_n = int_field "n" in
+    let nlabels = int_field "nlabels" in
+    let p_labels = Array.init nlabels (fun _ -> next "label") in
+    let p_dom = ints_field "dom" in
+    if Array.length p_dom <> p_n then raise (Bad "dom row length <> n");
+    let p_procs =
+      Array.init p_n (fun i ->
+          let l = field "proc" in
+          match String.index_opt l ' ' with
+          | None -> raise (Bad (Printf.sprintf "malformed proc line %S" l))
+          | Some sp ->
+            let idx = String.sub l 0 sp in
+            if int_of_string_opt idx <> Some i then
+              raise (Bad (Printf.sprintf "proc lines out of order at %d" i));
+            let rest = String.sub l (sp + 1) (String.length l - sp - 1) in
+            if rest = "table" then begin
+              let support = ints_field "support" in
+              let sizes = ints_field "sizes" in
+              let strides = ints_field "strides" in
+              let nmodes = int_field "nmodes" in
+              let entries =
+                Array.init nmodes (fun _ ->
+                    let count = int_field "mode" in
+                    let row = Array.make count 0 in
+                    let words =
+                      next "rle row" |> String.split_on_char ' '
+                      |> List.filter (fun s -> s <> "")
+                    in
+                    let pos = ref 0 in
+                    List.iter
+                      (fun w ->
+                        let v, c =
+                          match String.index_opt w '*' with
+                          | None -> (int_of_string_opt w, 1)
+                          | Some st ->
+                            ( int_of_string_opt (String.sub w 0 st),
+                              Option.value ~default:0
+                                (int_of_string_opt
+                                   (String.sub w (st + 1)
+                                      (String.length w - st - 1))) )
+                        in
+                        match v with
+                        | None -> raise (Bad (Printf.sprintf "bad RLE word %S" w))
+                        | Some v ->
+                          if c <= 0 || !pos + c > count then
+                            raise (Bad "RLE run overflows the declared length");
+                          Array.fill row !pos c v;
+                          pos := !pos + c)
+                      words;
+                    if !pos <> count then
+                      raise (Bad "RLE rows shorter than the declared length");
+                    row)
+              in
+              if
+                Array.length support <> Array.length sizes
+                || Array.length support <> Array.length strides
+              then raise (Bad "support/sizes/strides length mismatch");
+              Ok { Tables.support; sizes; strides; entries }
+            end
+            else
+              match String.index_opt rest ' ' with
+              | Some sp2 when String.sub rest 0 sp2 = "skipped" ->
+                Error (String.sub rest (sp2 + 1) (String.length rest - sp2 - 1))
+              | _ ->
+                raise (Bad (Printf.sprintf "malformed proc payload %S" rest)))
+    in
+    (match next "end" with
+    | "end" -> ()
+    | l -> raise (Bad (Printf.sprintf "expected end, got %S" l)));
+    Ok { Tables.p_algo; p_topo; p_n; p_labels; p_dom; p_procs }
+  with Bad msg -> Error msg
+
+let save file p =
+  let oc = open_out file in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      List.iter
+        (fun l ->
+          output_string oc l;
+          output_char oc '\n')
+        (to_lines p))
+
+let load file =
+  match open_in file with
+  | exception Sys_error e -> Error e
+  | ic ->
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () ->
+        let rec go acc =
+          match input_line ic with
+          | l -> go (l :: acc)
+          | exception End_of_file -> List.rev acc
+        in
+        of_lines (go []))

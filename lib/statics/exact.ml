@@ -1,0 +1,176 @@
+(* The exact static-analysis tier: a thin reporting layer over the dense
+   guard/footprint tables of [Snapcc_mc.Tables].
+
+   Where [Analyze] samples reachable configurations (verdicts relative to
+   coverage), this tier enumerates every process's full support product
+   over the declared domains under all input modes, so a clean pass is a
+   proof over the enumerated families, a never-true guard a dead-action
+   proof, and the priority-overlap / interference statistics are exact
+   counts rather than samples. *)
+
+module H = Snapcc_hypergraph.Hypergraph
+module Tables = Snapcc_mc.Tables
+
+type coverage = {
+  cells : int;  (** (cell, mode) pairs enumerated, all processes *)
+  seconds : float;
+  complete : bool;  (** every pass enumerated: dead verdicts are proofs *)
+  stored : bool;  (** every pass also stored: tables usable by {!Explore} *)
+  tainted : bool;  (** in-place mutation corrupted the interned stores *)
+  live : string list;  (** actions whose guard held somewhere *)
+  proc_status : (int * string) list;
+      (** non-[`Built] processes: [(proc, reason)] *)
+}
+
+(* A sampled violation is subsumed when the exact tier reproduced it
+   (finding or waived) at the same rule on the same process: exact
+   write-ownership evidence is fingerprint-based and carries no action
+   attribution (label "*"), so the action only has to agree when the exact
+   side names one. *)
+let agreement ~exact ~sampled =
+  let witnesses =
+    exact.Report.findings @ exact.Report.waived
+  in
+  List.filter
+    (fun (f : Report.finding) ->
+      not
+        (List.exists
+           (fun (g : Report.finding) ->
+             g.Report.rule = f.Report.rule
+             && g.Report.proc = f.Report.proc
+             && (g.Report.action = f.Report.action || g.Report.action = "*"))
+           witnesses))
+    sampled.Report.findings
+
+module Make (Sys : Snapcc_mc.System.S) = struct
+  module Tb = Tables.Make (Sys)
+
+  let finding_of_incident (i : Tables.incident) count =
+    match i with
+    | Tables.Nonlocal_read { proc; action; read } ->
+      { Report.rule = Report.Locality;
+        action;
+        proc;
+        count;
+        detail = Printf.sprintf "reads process %d, not a neighbor" read }
+    | Tables.Foreign_mutation { proc; victim } ->
+      { Report.rule = Report.Write_ownership;
+        action = "*";
+        proc;
+        count;
+        detail =
+          Printf.sprintf
+            "enumerating process %d's actions mutated an interned state of \
+             process %d in place"
+            proc victim }
+    | Tables.Nondet { proc; action; what } ->
+      { Report.rule = Report.Determinism;
+        action;
+        proc;
+        count;
+        detail =
+          (match what with
+          | `Guard -> "guard value differs across evaluations of one cell"
+          | `Apply -> "statement result differs across evaluations of one cell") }
+    | Tables.Crashed { proc; action; what; exn } ->
+      { Report.rule = Report.Crash;
+        action;
+        proc;
+        count;
+        detail =
+          Printf.sprintf "%s raised %s"
+            (match what with `Guard -> "guard" | `Apply -> "statement")
+            exn }
+
+  let run ?(verify = true) ?cap ?store_cap ?interference_cap
+      ?(allow = []) ~algo ~topo h =
+    let t = Tb.build ~verify ?cap ?store_cap h in
+    let n = H.n h in
+    let labels = Tb.labels t in
+    (* aggregate incidents by (rule, action, proc), keeping the first
+       detail as the exhibit *)
+    let agg : (Report.rule * string * int, int * string) Hashtbl.t =
+      Hashtbl.create 16
+    in
+    List.iter
+      (fun (i, count) ->
+        let f = finding_of_incident i count in
+        let key = (f.Report.rule, f.Report.action, f.Report.proc) in
+        match Hashtbl.find_opt agg key with
+        | Some (c, d) -> Hashtbl.replace agg key (c + f.Report.count, d)
+        | None -> Hashtbl.add agg key (f.Report.count, f.Report.detail))
+      (Tb.incidents t);
+    let all_findings =
+      Hashtbl.fold
+        (fun (rule, action, proc) (count, detail) acc ->
+          { Report.rule; action; proc; count; detail } :: acc)
+        agg []
+      |> List.sort compare
+    in
+    let findings, waived =
+      List.partition
+        (fun (f : Report.finding) -> not (List.mem f.Report.rule allow))
+        all_findings
+    in
+    let overlaps =
+      List.map
+        (fun (labels, times, example_proc) ->
+          { Report.labels; times; example_proc })
+        (Tb.overlaps t)
+      |> List.sort (fun (a : Report.overlap) (b : Report.overlap) ->
+             compare (b.times, a.labels) (a.times, b.labels))
+    in
+    let interference =
+      List.map
+        (fun (writer, reader, times) -> { Report.writer; reader; times })
+        (Tb.interference ?cap:interference_cap t)
+      |> List.sort (fun (a : Report.interference) (b : Report.interference) ->
+             compare (b.times, a.writer, a.reader) (a.times, b.writer, b.reader))
+    in
+    let complete = Tb.complete t in
+    let guard_true = Tb.guard_true t in
+    let never =
+      List.filter_map
+        (fun i -> if guard_true.(i) = 0 then Some labels.(i) else None)
+        (List.init (Array.length labels) Fun.id)
+    in
+    let live =
+      List.filter_map
+        (fun i -> if guard_true.(i) > 0 then Some labels.(i) else None)
+        (List.init (Array.length labels) Fun.id)
+    in
+    let report =
+      { Report.algo;
+        topo;
+        tier = "exact";
+        configs = Tb.cells t;
+        evals = Tb.cells t;
+        findings;
+        waived;
+        overlaps;
+        interference;
+        (* without full enumeration a never-true guard is only a suspect *)
+        dead = (if complete then [] else never);
+        dead_proven = (if complete then never else []);
+        dead_unreached = [];
+      }
+    in
+    let proc_status =
+      List.filter_map
+        (fun p ->
+          match Tb.status t p with
+          | `Built -> None
+          | `Streamed r | `Skipped r -> Some (p, r))
+        (List.init n Fun.id)
+    in
+    let coverage =
+      { cells = Tb.cells t;
+        seconds = Tb.seconds t;
+        complete;
+        stored = Tb.built t;
+        tainted = Tb.tainted t;
+        live;
+        proc_status }
+    in
+    (report, coverage, t)
+end

@@ -22,6 +22,7 @@ type interference = { writer : string; reader : string; times : int }
 type t = {
   algo : string;
   topo : string;
+  tier : string;
   configs : int;
   evals : int;
   findings : finding list;
@@ -29,34 +30,51 @@ type t = {
   overlaps : overlap list;
   interference : interference list;
   dead : string list;
+  dead_proven : string list;
+  dead_unreached : string list;
 }
 
 let ok t = t.findings = []
+
+let classify_dead ~proven ~live t =
+  let dead_proven, rest =
+    List.partition (fun a -> List.mem a proven) t.dead
+  in
+  let dead_unreached, dead =
+    List.partition (fun a -> List.mem a live) rest
+  in
+  { t with
+    dead;
+    dead_proven = t.dead_proven @ dead_proven;
+    dead_unreached = t.dead_unreached @ dead_unreached }
 
 let summary_table reports =
   {
     Table.id = "lint";
     title = "static footprint/race/priority analysis";
     header =
-      [ "algorithm"; "topology"; "configs"; "evals"; "violations"; "waived";
-        "overlaps"; "interference"; "dead"; "verdict" ];
+      [ "algorithm"; "topology"; "tier"; "configs"; "evals"; "violations";
+        "waived"; "overlaps"; "interference"; "dead"; "verdict" ];
     rows =
       List.map
         (fun t ->
-          [ t.algo; t.topo; Table.i t.configs; Table.i t.evals;
+          [ t.algo; t.topo; t.tier; Table.i t.configs; Table.i t.evals;
             Table.i (List.length t.findings); Table.i (List.length t.waived);
             Table.i (List.fold_left (fun a (o : overlap) -> a + o.times) 0 t.overlaps);
             Table.i
               (List.fold_left (fun a (x : interference) -> a + x.times) 0 t.interference);
-            Table.i (List.length t.dead);
+            Table.i
+              (List.length t.dead + List.length t.dead_proven
+              + List.length t.dead_unreached);
             (if ok t then "ok" else "FAIL") ])
         reports;
     notes =
       [ "overlaps/interference count occurrences, not rule violations";
         "waived = findings matching the analyzer's allow list (documented \
          deviations)";
-        "dead = actions whose guard never held on any explored \
-         configuration (suspect, not fatal: coverage-relative)" ];
+        "dead: sampled tier = guard never held on an explored configuration \
+         (suspect, coverage-relative); exact tier = guard false on the \
+         entire enumerated domain product (proof)" ];
   }
 
 let detail_table t =
@@ -73,13 +91,16 @@ let detail_table t =
   }
 
 let to_lines t =
+  let dead_line tag a =
+    Printf.sprintf "lint algo=%s topo=%s tier=%s %s action=%s" t.algo t.topo
+      t.tier tag a
+  in
   List.map
     (fun f ->
-      Printf.sprintf "lint algo=%s topo=%s rule=%s action=%s proc=%d count=%d detail=%s"
-        t.algo t.topo (rule_name f.rule) f.action f.proc f.count f.detail)
+      Printf.sprintf
+        "lint algo=%s topo=%s tier=%s rule=%s action=%s proc=%d count=%d detail=%s"
+        t.algo t.topo t.tier (rule_name f.rule) f.action f.proc f.count f.detail)
     t.findings
-  @ List.map
-      (fun a ->
-        Printf.sprintf "lint algo=%s topo=%s suspect=dead-action action=%s" t.algo
-          t.topo a)
-      t.dead
+  @ List.map (dead_line "suspect=dead-action") t.dead
+  @ List.map (dead_line "proven=dead-action") t.dead_proven
+  @ List.map (dead_line "suspect=unreached-in-sample") t.dead_unreached

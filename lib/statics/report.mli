@@ -47,6 +47,10 @@ type interference = {
 type t = {
   algo : string;
   topo : string;
+  tier : string;
+      (** ["sampled"] ({!Analyze}: verdicts relative to explored coverage)
+          or ["exact"] ({!Exact}: verdicts absolute over the enumerated
+          domain product) *)
   configs : int;  (** configurations analyzed *)
   evals : int;  (** action evaluations performed *)
   findings : finding list;  (** violations, sorted *)
@@ -61,10 +65,22 @@ type t = {
           specific instances (e.g. CC2/CC3's [Token2] fast-forward, which
           only fires from corrupted token positions on topologies where the
           cap leaves them unreached). *)
+  dead_proven : string list;
+      (** guard provably false on the entire enumerated domain product —
+          populated by the exact tier, or by {!classify_dead} when exact
+          evidence is merged into a sampled report *)
+  dead_unreached : string list;
+      (** sampled-dead actions the exact tier shows satisfiable: the sample
+          simply never reached an enabling configuration *)
 }
 
 val ok : t -> bool
 (** No violations ([findings = []]; waived findings do not count). *)
+
+val classify_dead : proven:string list -> live:string list -> t -> t
+(** Split [t.dead] on exact evidence: suspects in [proven] move to
+    [dead_proven], suspects in [live] to [dead_unreached], and anything the
+    exact tier could not decide (a skipped pass) stays a plain suspect. *)
 
 val summary_table : t list -> Snapcc_experiments.Table.t
 (** One row per analyzed (algorithm, topology) pair. *)
@@ -74,7 +90,8 @@ val detail_table : t -> Snapcc_experiments.Table.t
 
 val to_lines : t -> string list
 (** Machine-readable violations, one per line:
-    [lint algo=<name> topo=<name> rule=<rule> action=<label> proc=<p>
-    count=<k> detail=<text>], followed by one
-    [lint algo=<name> topo=<name> suspect=dead-action action=<label>] line
-    per dead action.  Waived findings are not included. *)
+    [lint algo=<name> topo=<name> tier=<tier> rule=<rule> action=<label>
+    proc=<p> count=<k> detail=<text>], followed by one line per dead action —
+    [suspect=dead-action] (sampled, undecided), [proven=dead-action]
+    (exact proof), or [suspect=unreached-in-sample] (exact tier shows the
+    guard satisfiable).  Waived findings are not included. *)

@@ -188,6 +188,30 @@ let test_fairness_convene_breaks_livelock () =
     (verdict.Fairness.livelocks = []);
   check "ok" true (Fairness.ok verdict)
 
+(* ---- table-driven fast path: identical results to the closure path ---- *)
+
+let test_tables_parity () =
+  List.iter
+    (fun (key, token) ->
+      let entry = system key in
+      let module S = (val entry.Systems.make token) in
+      let module Tb = Tables.Make (S) in
+      let module Ex = Explore.Make (S) in
+      let tag = key ^ "/" ^ token in
+      let r0 = Ex.explore single2 in
+      let tb = Tb.build single2 in
+      check (tag ^ " tables stored for every process") true (Tb.built tb);
+      let r1 = Ex.explore ~tables:tb single2 in
+      checki (tag ^ " same configurations") (Ex.n_configs r0) (Ex.n_configs r1);
+      checki (tag ^ " same transitions") (Ex.n_transitions r0)
+        (Ex.n_transitions r1);
+      check (tag ^ " same action counts") true
+        (Ex.action_counts r0 = Ex.action_counts r1);
+      check (tag ^ " same violations") true
+        (Ex.violations r0 = Ex.violations r1);
+      check (tag ^ " both complete") true (Ex.complete r0 && Ex.complete r1))
+    [ ("cc1", "vring"); ("cc1", "tree"); ("cc3", "vring") ]
+
 let suite =
   [ ( "mc",
       [ Alcotest.test_case "clean: cc1 on single2" `Quick test_clean_cc1;
@@ -203,4 +227,6 @@ let suite =
         Alcotest.test_case "fairness: deadlock" `Quick test_fairness_deadlock;
         Alcotest.test_case "fairness: livelock" `Quick test_fairness_livelock;
         Alcotest.test_case "fairness: convene breaks livelock" `Quick
-          test_fairness_convene_breaks_livelock ] ) ]
+          test_fairness_convene_breaks_livelock;
+        Alcotest.test_case "table-driven fast path parity" `Quick
+          test_tables_parity ] ) ]

@@ -96,6 +96,47 @@ end
 
 let pair () = H.create ~n:2 [ [ 0; 1 ] ]
 
+(* System.S views of the fixtures, for the exact tier *)
+
+module Nonlocal_sys = struct
+  include Nonlocal
+
+  let domain _ _ = [ 0; 1; 2 ]
+  let canon _ _ s = s
+end
+
+module Nondet_sys = struct
+  include Nondet
+
+  let domain _ _ = [ 0; 1; 2 ]
+  let canon _ _ s = s
+end
+
+(* ---- fixture: an always-false guard next to a rarely-enabled one ---- *)
+
+module Deadish = struct
+  type state = int
+
+  let name = "fixture-deadish"
+  let pp_state = Format.pp_print_int
+  let equal_state = Int.equal
+  let init _ _ = 0
+  let random_init _ rng _ = Random.State.int rng 3
+
+  let actions _h =
+    [ { Model.label = "never";
+        guard = (fun _ -> false);
+        apply = (fun ctx -> ctx.Model.read ctx.Model.self) };
+      { Model.label = "bump";
+        guard = (fun ctx -> ctx.Model.read ctx.Model.self < 2);
+        apply = (fun ctx -> ctx.Model.read ctx.Model.self + 1) };
+    ]
+
+  let observe _ _ _ = Obs.make Obs.Idle
+  let domain _ _ = [ 0; 1; 2 ]
+  let canon _ _ s = s
+end
+
 let test_nonlocal_fires () =
   let module An = Snapcc_statics.Analyze.Make (Nonlocal) in
   let r = An.analyze ~seeds:4 ~max_configs:40 ~topo:"path4" (Families.path 4) in
@@ -179,6 +220,127 @@ let test_engine_check_locality_agrees () =
   check "static pass flags the same algorithm" true
     (has_rule report Report.Locality)
 
+(* ---- waiver path: an allow-listed rule is waived, never fatal; rules
+   not on the list still fail ---- *)
+
+let test_waiver_path () =
+  let module An = Snapcc_statics.Analyze.Make (Nonlocal) in
+  let h = Families.path 4 in
+  let r = An.analyze ~seeds:4 ~max_configs:40 ~allow:[ Report.Locality ]
+      ~topo:"path4" h in
+  check "waived rule is not fatal" true (Report.ok r);
+  check "the waived finding is still visible" true
+    (List.exists
+       (fun (f : Report.finding) -> f.rule = Report.Locality)
+       r.Report.waived);
+  check "waived findings never reach the violation list" false
+    (has_rule r Report.Locality);
+  (* waiving an unrelated rule must not mask the real one *)
+  let module An2 = Snapcc_statics.Analyze.Make (Foreign_write) in
+  let r2 = An2.analyze ~seeds:4 ~max_configs:40 ~allow:[ Report.Locality ]
+      ~topo:"pair" (pair ()) in
+  check "non-listed rule still fails" false (Report.ok r2);
+  check "non-listed rule reported as a violation" true
+    (has_rule r2 Report.Write_ownership)
+
+(* ---- exact tier: broken fixtures fire absolutely ---- *)
+
+let test_exact_fixtures_fire () =
+  let module Ex = Snapcc_statics.Exact.Make (Nonlocal_sys) in
+  let r, cov, _ = Ex.run ~algo:"nonlocal" ~topo:"path4" (Families.path 4) in
+  check "exact locality violation" true (has_rule r Report.Locality);
+  check "exact pass is complete" true cov.Snapcc_statics.Exact.complete;
+  check "exact tier label" true (r.Report.tier = "exact");
+  let module Ex2 = Snapcc_statics.Exact.Make (Nondet_sys) in
+  let r2, _, _ = Ex2.run ~algo:"nondet" ~topo:"pair" (pair ()) in
+  check "exact determinism violation" true (has_rule r2 Report.Determinism)
+
+(* ---- exact tier: dead-action proofs and sampled reclassification ---- *)
+
+let test_exact_dead_classification () =
+  let module Ex = Snapcc_statics.Exact.Make (Deadish) in
+  let r, cov, _ = Ex.run ~algo:"deadish" ~topo:"pair" (pair ()) in
+  check "always-false guard proven dead" true
+    (r.Report.dead_proven = [ "never" ]);
+  check "satisfiable guard reported live" true
+    (List.mem "bump" cov.Snapcc_statics.Exact.live);
+  (* reclassify a sampled report on that evidence *)
+  let module An = Snapcc_statics.Analyze.Make (Deadish) in
+  let s = An.analyze ~seeds:4 ~max_configs:40 ~topo:"pair" (pair ()) in
+  check "sampled tier suspects the dead action" true
+    (List.mem "never" s.Report.dead);
+  let s' =
+    Report.classify_dead ~proven:r.Report.dead_proven
+      ~live:cov.Snapcc_statics.Exact.live s
+  in
+  check "suspect moved to proven" true (List.mem "never" s'.Report.dead_proven);
+  check "no unclassified suspects remain" true (s'.Report.dead = []);
+  check "machine lines distinguish the proof" true
+    (List.exists
+       (fun l ->
+         List.exists
+           (fun part -> part = "proven=dead-action")
+           (String.split_on_char ' ' l))
+       (Report.to_lines s'))
+
+(* ---- exact vs sampled agreement: CC1/CC2/CC3 over single2 and line3
+   (the acceptance families).  Every sampled violation must be reproduced
+   by the exact tier (here: both are clean), and with a complete exact
+   pass every sampled dead suspect must classify as proven or
+   unreached-in-sample. ---- *)
+
+let test_exact_agreement () =
+  List.iter
+    (fun key ->
+      let entry = Option.get (Snapcc_mc.Systems.find key) in
+      let module S = (val entry.Snapcc_mc.Systems.make "tree") in
+      let module An = Snapcc_statics.Analyze.Make (S) in
+      let module Ex = Snapcc_statics.Exact.Make (S) in
+      List.iter
+        (fun (topo, h) ->
+          let tag = key ^ " on " ^ topo in
+          let sampled = An.analyze ~seeds:8 ~max_configs:80 ~topo h in
+          let exact, cov, _ = Ex.run ~algo:S.name ~topo h in
+          check (tag ^ ": sampled clean") true (Report.ok sampled);
+          check (tag ^ ": exact clean") true (Report.ok exact);
+          check (tag ^ ": exact pass complete") true
+            cov.Snapcc_statics.Exact.complete;
+          check (tag ^ ": tiers agree") true
+            (Snapcc_statics.Exact.agreement ~exact ~sampled = []);
+          let s' =
+            Report.classify_dead ~proven:exact.Report.dead_proven
+              ~live:cov.Snapcc_statics.Exact.live sampled
+          in
+          check (tag ^ ": every dead suspect classified") true
+            (s'.Report.dead = []))
+        [ ("single2", Families.single 2); ("line3", Families.path 3) ])
+    [ "cc1"; "cc2"; "cc3" ]
+
+(* ---- table artifacts round-trip ---- *)
+
+let test_artifact_round_trip () =
+  let entry = Option.get (Snapcc_mc.Systems.find "cc1") in
+  let module S = (val entry.Snapcc_mc.Systems.make "tree") in
+  let module Tb = Snapcc_mc.Tables.Make (S) in
+  let t = Tb.build (Families.single 2) in
+  check "tables stored" true (Tb.built t);
+  let p = Tb.to_portable ~algo:"cc1" ~topo:"single2" t in
+  let module A = Snapcc_statics.Artifact in
+  (match A.of_lines (A.to_lines p) with
+  | Error e -> Alcotest.failf "round-trip failed: %s" e
+  | Ok p' -> check "lines round-trip preserves the tables" true (p = p'));
+  let file = Filename.temp_file "snapcc-tables" ".txt" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove file with Sys_error _ -> ())
+    (fun () ->
+      A.save file p;
+      match A.load file with
+      | Error e -> Alcotest.failf "file round-trip failed: %s" e
+      | Ok p' -> check "file round-trip preserves the tables" true (p = p'));
+  (match A.of_lines [ "bogus" ] with
+  | Ok _ -> Alcotest.fail "bad magic accepted"
+  | Error _ -> ())
+
 let suite =
   [ ( "statics",
       [ Alcotest.test_case "non-local read fires locality" `Quick test_nonlocal_fires;
@@ -192,5 +354,14 @@ let suite =
           test_structural_stats;
         Alcotest.test_case "dynamic check_locality agrees with the static pass"
           `Quick test_engine_check_locality_agrees;
+        Alcotest.test_case "allow-waiver path" `Quick test_waiver_path;
+        Alcotest.test_case "exact tier: broken fixtures fire" `Quick
+          test_exact_fixtures_fire;
+        Alcotest.test_case "exact tier: dead-action proofs and reclassification"
+          `Quick test_exact_dead_classification;
+        Alcotest.test_case "exact vs sampled agreement (cc1/cc2/cc3)" `Quick
+          test_exact_agreement;
+        Alcotest.test_case "table artifact round-trip" `Quick
+          test_artifact_round_trip;
       ] );
   ]
