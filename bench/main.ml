@@ -155,6 +155,88 @@ let run_exact_bench () =
   Format.printf "@.";
   rows
 
+(* ---------- Part 2c: packed-engine macro-benchmark ---------- *)
+
+module Mc_sys = Snapcc_mc.Systems
+
+module Cursor_on = struct
+  let cursor = true
+end
+
+module Sys_cc3 = Mc_sys.Cc23_sys (Snapcc_token.Token_tree) (X.Cc3) (Cursor_on)
+module Pk_cc3 = Snapcc_mc.Packed.Make (Sys_cc3)
+
+(* The simulation engines' packed fast path against the guard closures,
+   on a topology whose tables build in well under a second: (a) the
+   shared-memory driver end to end (meetings/s — monitors and workload
+   dilute the per-step win), (b) the message-passing engine stepped raw
+   (steps/s — the guard-scan-bound loop the tables accelerate).  Both
+   runs are asserted trace-equal: the speedup buys the same execution. *)
+let run_engine_bench () =
+  let topo, h = ("single2", Families.single 2) in
+  let steps = if quick then 30_000 else 150_000 in
+  Format.printf "=== packed engine vs guard closures: cc3 on %s ===@." topo;
+  let t0 = Unix.gettimeofday () in
+  let pk = Pk_cc3.build h in
+  let build_s = Unix.gettimeofday () -. t0 in
+  let hooks = Pk_cc3.hooks pk in
+  (* (a) driver: meetings over the full monitored pipeline *)
+  let module R = X.Run_cc3 in
+  let driver ?packed () =
+    let daemon = Daemon.random_subset () in
+    let workload = Workload.always_requesting h in
+    let t0 = Unix.gettimeofday () in
+    let r = R.run ~seed:3 ?packed ~daemon ~workload ~steps h in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let rc, dt_c = driver () in
+  let rp, dt_p = driver ~packed:hooks () in
+  assert (rc.Snapcc_experiments.Driver.convened = rp.Snapcc_experiments.Driver.convened);
+  assert (rc.Snapcc_experiments.Driver.steps = rp.Snapcc_experiments.Driver.steps);
+  let meetings r = List.length r.Snapcc_experiments.Driver.convened in
+  let meetings_per_s = float_of_int (meetings rc) /. dt_c in
+  let meetings_per_s_packed = float_of_int (meetings rp) /. dt_p in
+  Format.printf
+    "driver: build %.2fs  closures %.2fs  packed %.2fs  meetings/s %.0f -> \
+     %.0f  (x%.2f)@."
+    build_s dt_c dt_p meetings_per_s meetings_per_s_packed (dt_c /. dt_p);
+  (* (b) mp engine: raw steps under constant requests *)
+  let module E = Snapcc_mp.Mp_engine.Make (X.Cc3) in
+  let inputs =
+    { Model.request_in = (fun _ -> true); request_out = (fun _ -> true) }
+  in
+  let mp_steps = steps * 4 in
+  let mp ?packed () =
+    let eng = E.create ~seed:1 ?packed h in
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to mp_steps do
+      ignore (E.step eng ~inputs)
+    done;
+    (eng, Unix.gettimeofday () -. t0)
+  in
+  let ec, mt_c = mp () in
+  let ep, mt_p = mp ~packed:hooks () in
+  assert (E.engine_kind ep = `Packed);
+  assert (E.obs ec = E.obs ep);
+  assert (E.messages_delivered ec = E.messages_delivered ep);
+  let mp_steps_per_s = float_of_int mp_steps /. mt_c in
+  let mp_steps_per_s_packed = float_of_int mp_steps /. mt_p in
+  Format.printf
+    "mp:     closures %.2fs  packed %.2fs  steps/s %.0f -> %.0f  (x%.2f)@.@."
+    mt_c mt_p mp_steps_per_s mp_steps_per_s_packed (mt_c /. mt_p);
+  Json.Obj
+    [ ("algo", Json.String "cc3"); ("topo", Json.String topo);
+      ("table_build_s", Json.Float build_s);
+      ("driver_steps", Json.Int steps);
+      ("meetings", Json.Int (meetings rc));
+      ("meetings_per_s", Json.Float meetings_per_s);
+      ("meetings_per_s_packed", Json.Float meetings_per_s_packed);
+      ("driver_speedup", Json.Float (dt_c /. dt_p));
+      ("mp_steps", Json.Int mp_steps);
+      ("mp_steps_per_s", Json.Float mp_steps_per_s);
+      ("mp_steps_per_s_packed", Json.Float mp_steps_per_s_packed);
+      ("mp_speedup", Json.Float (mt_c /. mt_p)) ]
+
 (* ---------- Part 3: networked-runtime macro-benchmark ---------- *)
 
 module Net = Snapcc_net
@@ -171,20 +253,39 @@ let run_net_bench () =
   let plan =
     { Net.Faults.none with drop = 0.05; delay = 2; dup = 0.02; corrupt = 0.02 }
   in
-  let cfg =
+  let cfg engine =
     { Net.Orchestrator.algo = "cc1"; seed = 11; init = `Canonical;
-      deliver_bias = 0.5; steps; plan; burst = Some (steps / 2) }
+      deliver_bias = 0.5; steps; plan; burst = Some (steps / 2); engine }
   in
   Format.printf "=== networked runtime: cc1 on ring%d, %d steps, faults %a ===@."
     n steps Net.Faults.pp plan;
-  let r =
+  let soak engine =
     match
       Net.Orchestrator.run ~mode:Net.Spawn.Fork
-        ~workload:(Workload.always_requesting h) cfg h
+        ~workload:(Workload.always_requesting h) (cfg engine) h
     with
     | Ok r -> r
     | Error e -> failwith e
   in
+  (* full-marshal wire first: its numbers are the historical baseline *)
+  let r = soak `Closure in
+  let rp = soak `Packed in
+  (* the wire engine must not change the execution, only its byte cost *)
+  assert (rp.Net.Orchestrator.delivered = r.Net.Orchestrator.delivered);
+  assert (rp.Net.Orchestrator.malformed = r.Net.Orchestrator.malformed);
+  assert (rp.Net.Orchestrator.stabilized_in = r.Net.Orchestrator.stabilized_in);
+  assert (rp.Net.Orchestrator.final_obs = r.Net.Orchestrator.final_obs);
+  let per_snapshot (x : Net.Orchestrator.result) =
+    float_of_int x.bytes_delivered /. float_of_int (max 1 x.delivered)
+  in
+  let bytes_per_snapshot = per_snapshot r in
+  let bytes_per_snapshot_packed = per_snapshot rp in
+  let bytes_delta = bytes_per_snapshot /. bytes_per_snapshot_packed in
+  Format.printf
+    "wire: full-snapshot %.1f B/snapshot  packed-delta %.1f B/snapshot  \
+     (x%.2f smaller, %d resyncs)@."
+    bytes_per_snapshot bytes_per_snapshot_packed bytes_delta
+    rp.Net.Orchestrator.resyncs;
   let lat = r.Net.Orchestrator.latencies_us in
   let pct q = Snapcc_analysis.Metrics.percentile q lat in
   let lat_max = List.fold_left max 0 lat in
@@ -233,6 +334,10 @@ let run_net_bench () =
       ("dropped", Json.Int r.dropped); ("malformed", Json.Int r.malformed);
       ("bytes_sent", Json.Int r.bytes_sent);
       ("bytes_delivered", Json.Int r.bytes_delivered);
+      ("bytes_per_snapshot", Json.Float bytes_per_snapshot);
+      ("bytes_per_snapshot_packed", Json.Float bytes_per_snapshot_packed);
+      ("bytes_per_snapshot_delta", Json.Float bytes_delta);
+      ("resyncs", Json.Int rp.Net.Orchestrator.resyncs);
       ("snapshots_per_s", Json.Float snapshots_per_s);
       ("bytes_per_s", Json.Float bytes_per_s);
       ("wall_s", Json.Float r.wall_s);
@@ -353,6 +458,7 @@ let () =
   let experiments = run_experiments () in
   let mc = run_mc_bench () in
   let exact = run_exact_bench () in
+  let engine = run_engine_bench () in
   let net = run_net_bench () in
   let micro = run_micro_benchmarks () in
   let label = if quick then "quick" else "full" in
@@ -365,6 +471,7 @@ let () =
             ("experiments", Json.List experiments);
             ("mc", mc);
             ("exact", Json.List exact);
+            ("engine", engine);
             ("net", net);
             ("micro", Json.List micro) ]));
   output_char oc '\n';

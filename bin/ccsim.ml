@@ -105,6 +105,48 @@ let timeline_arg =
 let quick_arg =
   Arg.(value & flag & info [ "quick" ] ~doc:"Reduced sweeps (what the tests run).")
 
+(* Shared by `run', `mp', `net' and `check': which stepping machinery to
+   use.  `packed' routes guard evaluation through the exact
+   guard/footprint tables of lib/mc (and, for `net', switches the wire to
+   packed-id/XOR-delta snapshot frames); processes whose tables exceed the
+   startup budget fall back to the guard closures automatically, so
+   `packed' is always safe to default to — behavior is identical either
+   way, only speed and wire bytes differ. *)
+let engine_conv : [ `Packed | `Closure ] Arg.conv =
+  Arg.enum [ ("packed", `Packed); ("closure", `Closure) ]
+
+let engine_arg =
+  Arg.(value & opt engine_conv `Packed
+       & info [ "engine" ] ~docv:"ENGINE"
+           ~doc:"Stepping engine: packed|closure.  `packed' (default) \
+                 drives guards through pre-enumerated configuration \
+                 tables where they fit the startup budget and falls back \
+                 to the guard closures elsewhere; runs are \
+                 trace-identical across engines.")
+
+(* Startup budget for table enumeration on the interactive paths: a
+   process whose footprint-cell count exceeds this is skipped in O(1) and
+   served by the guard closures instead (the bench passes bigger caps
+   explicitly). *)
+let cli_pack_cap = 1 lsl 20
+
+module Cursor_off = struct
+  let cursor = false
+end
+
+module Cursor_on = struct
+  let cursor = true
+end
+
+module Sys_cc1 = Snapcc_mc.Systems.Cc1_sys (Snapcc_token.Token_tree) (X.Cc1)
+module Sys_cc2 =
+  Snapcc_mc.Systems.Cc23_sys (Snapcc_token.Token_tree) (X.Cc2) (Cursor_off)
+module Sys_cc3 =
+  Snapcc_mc.Systems.Cc23_sys (Snapcc_token.Token_tree) (X.Cc3) (Cursor_on)
+module Pk_cc1 = Snapcc_mc.Packed.Make (Sys_cc1)
+module Pk_cc2 = Snapcc_mc.Packed.Make (Sys_cc2)
+module Pk_cc3 = Snapcc_mc.Packed.Make (Sys_cc3)
+
 let topology name =
   if Sys.file_exists name then Snapcc_hypergraph.Hypergraph_io.load name
   else
@@ -238,7 +280,7 @@ let emit_catapult_arg =
 (* ---- run ---- *)
 
 let run_cmd topo algo_name daemon_name workload_name steps seed disc random_init
-    fault_at trace timeline emit_trace emit_json emit_catapult =
+    fault_at trace timeline engine emit_trace emit_json emit_catapult =
   let h = or_die (topology topo) in
   let daemon = or_die (daemon daemon_name) in
   let workload = or_die (workload workload_name ~disc h) in
@@ -260,14 +302,40 @@ let run_cmd topo algo_name daemon_name workload_name steps seed disc random_init
   let telemetry, ring, finish_telemetry =
     make_hub ~ring_capacity ~emit_trace ~emit_catapult ()
   in
+  let record_trace = trace || timeline in
+  let coverage = ref None in
   let r =
-    runner.X.run ~seed ~init ?faults ?telemetry
-      ~record_trace:(trace || timeline) ~daemon ~workload ~steps h
+    (* the runner records cannot carry the typed [?packed] hooks, so the
+       paper algorithms dispatch through their typed driver instances when
+       the packed engine is requested *)
+    match (engine, algo_name) with
+    | `Packed, "cc1" ->
+      let pk = Pk_cc1.build ~cap:cli_pack_cap h in
+      coverage := Some (Pk_cc1.coverage pk);
+      X.Run_cc1.run ~seed ~init ?faults ?telemetry ~record_trace
+        ~packed:(Pk_cc1.hooks pk) ~daemon ~workload ~steps h
+    | `Packed, "cc2" ->
+      let pk = Pk_cc2.build ~cap:cli_pack_cap h in
+      coverage := Some (Pk_cc2.coverage pk);
+      X.Run_cc2.run ~seed ~init ?faults ?telemetry ~record_trace
+        ~packed:(Pk_cc2.hooks pk) ~daemon ~workload ~steps h
+    | `Packed, "cc3" ->
+      let pk = Pk_cc3.build ~cap:cli_pack_cap h in
+      coverage := Some (Pk_cc3.coverage pk);
+      X.Run_cc3.run ~seed ~init ?faults ?telemetry ~record_trace
+        ~packed:(Pk_cc3.hooks pk) ~daemon ~workload ~steps h
+    | _ ->
+      runner.X.run ~seed ~init ?faults ?telemetry ~record_trace ~daemon
+        ~workload ~steps h
   in
   (match (emit_json, ring) with
    | Some file, Some rg -> write_json file (ring_summary rg)
    | _ -> ());
   finish_telemetry ();
+  (match !coverage with
+   | Some c ->
+     Format.printf "engine: packed (tables cover %.0f%% of processes)@." (100. *. c)
+   | None -> ());
   Format.printf "%a@." Driver.pp_result r;
   if r.Driver.violations <> [] then begin
     Format.printf "@.violations:@.";
@@ -287,11 +355,12 @@ let run_term =
   Term.(
     const run_cmd $ topology_arg $ algo_arg $ daemon_arg $ workload_arg
     $ steps_arg $ seed_arg $ disc_arg $ random_init_arg $ fault_arg $ trace_arg
-    $ timeline_arg $ emit_trace_arg $ emit_json_arg $ emit_catapult_arg)
+    $ timeline_arg $ engine_arg $ emit_trace_arg $ emit_json_arg
+    $ emit_catapult_arg)
 
 (* ---- mp (message-passing emulation) ---- *)
 
-let mp_cmd topo algo_name workload_name steps seed disc random_init bias
+let mp_cmd topo algo_name workload_name steps seed disc random_init bias engine
     emit_trace emit_json =
   let h = or_die (topology topo) in
   let workload = or_die (workload workload_name ~disc h) in
@@ -307,11 +376,11 @@ let mp_cmd topo algo_name workload_name steps seed disc random_init bias
   let module Run (A : Snapcc_runtime.Model.ALGO) = struct
     module E = Snapcc_mp.Mp_engine.Make (A)
 
-    let go () =
+    let go packed =
       let eng =
         E.create ~seed
           ~init:(if random_init then `Random else `Canonical)
-          ~deliver_bias:bias ?telemetry h
+          ~deliver_bias:bias ?telemetry ?packed h
       in
       let spec = Spec.create ?telemetry h ~initial:(E.obs eng) in
       emit
@@ -334,6 +403,9 @@ let mp_cmd topo algo_name workload_name steps seed disc random_init bias
        | Some file, Some rg -> write_json file (ring_summary rg)
        | _ -> ());
       finish_telemetry ();
+      (match E.engine_kind eng with
+       | `Packed -> Format.printf "engine: packed@."
+       | `Closure -> ());
       Format.printf
         "%s over message passing: %d steps, %d meetings, %d violations@."
         A.name steps
@@ -348,11 +420,20 @@ let mp_cmd topo algo_name workload_name steps seed disc random_init bias
         (Spec.violations spec);
       Format.printf "@.final configuration:@.%a@." (Obs.pp_snapshot h) (E.obs eng)
   end in
-  match algo_name with
-  | "cc1" -> let module R = Run (X.Cc1) in R.go ()
-  | "cc2" -> let module R = Run (X.Cc2) in R.go ()
-  | "cc3" -> let module R = Run (X.Cc3) in R.go ()
-  | a -> or_die (Error (Printf.sprintf "mp supports cc1|cc2|cc3, not %S" a))
+  match (algo_name, engine) with
+  | "cc1", `Packed ->
+    let module R = Run (X.Cc1) in
+    R.go (Some (Pk_cc1.hooks (Pk_cc1.build ~cap:cli_pack_cap h)))
+  | "cc2", `Packed ->
+    let module R = Run (X.Cc2) in
+    R.go (Some (Pk_cc2.hooks (Pk_cc2.build ~cap:cli_pack_cap h)))
+  | "cc3", `Packed ->
+    let module R = Run (X.Cc3) in
+    R.go (Some (Pk_cc3.hooks (Pk_cc3.build ~cap:cli_pack_cap h)))
+  | "cc1", `Closure -> let module R = Run (X.Cc1) in R.go None
+  | "cc2", `Closure -> let module R = Run (X.Cc2) in R.go None
+  | "cc3", `Closure -> let module R = Run (X.Cc3) in R.go None
+  | a, _ -> or_die (Error (Printf.sprintf "mp supports cc1|cc2|cc3, not %S" a))
 
 (* validated argument converters, shared by `ccsim mp' and `ccsim net' *)
 
@@ -369,8 +450,8 @@ let bias_arg =
 let mp_term =
   Term.(
     const mp_cmd $ topology_arg $ algo_arg $ workload_arg $ checked_steps_arg
-    $ seed_arg $ disc_arg $ random_init_arg $ bias_arg $ emit_trace_arg
-    $ emit_json_arg)
+    $ seed_arg $ disc_arg $ random_init_arg $ bias_arg $ engine_arg
+    $ emit_trace_arg $ emit_json_arg)
 
 (* ---- net (networked multi-process runtime) ---- *)
 
@@ -416,7 +497,7 @@ let fork_arg =
                  loopback.")
 
 let net_cmd topo nprocs algo_name workload_name steps seed disc random_init
-    bias faults burst soak fork emit_trace emit_json emit_catapult =
+    bias faults burst soak fork engine emit_trace emit_json emit_catapult =
   let h =
     match nprocs with
     | Some k -> or_die (topology ("ring" ^ string_of_int k))
@@ -440,14 +521,16 @@ let net_cmd topo nprocs algo_name workload_name steps seed disc random_init
   let cfg =
     { Net.Orchestrator.algo = algo_name; seed;
       init = (if random_init then `Random else `Canonical);
-      deliver_bias = bias; steps; plan = faults; burst }
+      deliver_bias = bias; steps; plan = faults; burst; engine }
   in
   let r = or_die (Net.Orchestrator.run ?telemetry ~mode ~workload cfg h) in
   (match (emit_json, ring) with
    | Some file, Some rg -> write_json file (ring_summary rg)
    | _ -> ());
   finish_telemetry ();
-  Format.printf "%s over %d node processes, faults: %a@." algo_name (H.n h)
+  Format.printf "%s over %d node processes (%s wire), faults: %a@." algo_name
+    (H.n h)
+    (match engine with `Packed -> "packed-delta" | `Closure -> "full-snapshot")
     Net.Faults.pp faults;
   Format.printf "%a@." Net.Orchestrator.pp_result r;
   (match r.Net.Orchestrator.latencies_us with
@@ -473,8 +556,8 @@ let net_term =
   Term.(
     const net_cmd $ topology_arg $ net_nprocs_arg $ algo_arg $ workload_arg
     $ checked_steps_arg $ seed_arg $ disc_arg $ random_init_arg $ bias_arg
-    $ faults_arg $ burst_arg $ soak_arg $ fork_arg $ emit_trace_arg
-    $ emit_json_arg $ emit_catapult_arg)
+    $ faults_arg $ burst_arg $ soak_arg $ fork_arg $ engine_arg
+    $ emit_trace_arg $ emit_json_arg $ emit_catapult_arg)
 
 (* ---- bounds ---- *)
 
@@ -847,11 +930,25 @@ let mc_report_json (r : Mc_report.t) =
       ("states_per_sec", Float (Mc_report.states_per_sec r)) ]
 
 let check_one ~(entry : Mc_systems.entry) ~token ~topo_name ~h ~max_states
-    ~keep_going ~sample ~seed ~cex_path ~progress ~telemetry =
+    ~keep_going ~sample ~seed ~cex_path ~progress ~engine ~telemetry =
   let module S = (val entry.Mc_systems.make token) in
   let module Ex = Snapcc_mc.Explore.Make (S) in
+  let module Tb = Snapcc_mc.Tables.Make (S) in
   let module CexM = Snapcc_mc.Counterexample.Make (S) in
   let t0 = Sys.time () in
+  (* the packed engine reuses the exploration budget: a process whose
+     table would dwarf the configuration cap falls back to closures *)
+  let tables =
+    match engine with
+    | `Closure -> None
+    | `Packed ->
+      let tb = Tb.build ~cap:(max 1 max_states * 8) h in
+      if progress then
+        Format.eprintf "  guard tables: %s@."
+          (if Tb.built tb then "built (packed fast path)"
+           else "partial (closure fallback for skipped processes)");
+      Some tb
+  in
   let roots =
     if sample = 0 then `Domain
     else begin
@@ -879,7 +976,7 @@ let check_one ~(entry : Mc_systems.entry) ~token ~topo_name ~h ~max_states
           | None -> ())
   in
   let result =
-    Ex.explore ?on_progress ~max_configs:max_states ~roots
+    Ex.explore ?on_progress ?tables ~max_configs:max_states ~roots
       ~stop_on_first:(not keep_going) h
   in
   let seconds = Sys.time () -. t0 in
@@ -983,7 +1080,7 @@ let check_one ~(entry : Mc_systems.entry) ~token ~topo_name ~h ~max_states
   report
 
 let check_cmd algos family n token max_states keep_going sample seed cex_path
-    progress emit_json =
+    progress engine emit_json =
   let topo_name, h = or_die (resolve_topo family n) in
   (* frontier samples arrive every ~16k explored configurations, so even a
      multi-million-state run fits a small ring *)
@@ -1016,7 +1113,7 @@ let check_cmd algos family n token max_states keep_going sample seed cex_path
           try
             Ok
               (check_one ~entry ~token ~topo_name ~h ~max_states ~keep_going
-                 ~sample ~seed ~cex_path ~progress ~telemetry)
+                 ~sample ~seed ~cex_path ~progress ~engine ~telemetry)
           with Invalid_argument msg | Failure msg -> Error msg
         in
         Format.printf "@.";
@@ -1103,7 +1200,7 @@ let check_term =
   Term.(
     const check_cmd $ check_algo_arg $ family_arg $ nprocs_arg $ check_token_arg
     $ max_states_arg $ keep_going_arg $ sample_arg $ seed_arg $ cex_out_arg
-    $ check_progress_arg $ emit_json_arg)
+    $ check_progress_arg $ engine_arg $ emit_json_arg)
 
 (* ---- replay ---- *)
 

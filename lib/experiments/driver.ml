@@ -48,7 +48,8 @@ module Make (A : Model.ALGO) = struct
   (* like [run] below, but also returns the final typed configuration (used
      by the dynamic-hypergraph experiment to carry states across changes) *)
   let run_with_states ?(seed = 0) ?(init : [ `Canonical | `Random ] = `Canonical)
-      ?init_states ?(check_locality = false) ?faults ?(stop_when = fun _ -> false)
+      ?init_states ?(check_locality = false) ?packed ?faults
+      ?(stop_when = fun _ -> false)
       ?(on_obs = fun ~step:_ _ -> ()) ?(record_trace = false)
       ?(stutter_limit = 1000) ?telemetry ~daemon ~workload ~steps h =
     let init =
@@ -56,7 +57,7 @@ module Make (A : Model.ALGO) = struct
       | Some states -> `States states
       | None -> (init :> [ `Canonical | `Random | `States of A.state array ])
     in
-    let eng = E.create ~seed ~check_locality ~init ~daemon h in
+    let eng = E.create ~seed ~check_locality ~init ?packed ~daemon h in
     let initial = E.obs eng in
     let spec = Spec.create ?telemetry h ~initial in
     let metrics = Metrics.create ?telemetry h ~initial in
@@ -191,10 +192,11 @@ module Make (A : Model.ALGO) = struct
       },
       E.states eng )
 
-  let run ?seed ?init ?init_states ?check_locality ?faults ?stop_when ?on_obs
-      ?record_trace ?stutter_limit ?telemetry ~daemon ~workload ~steps h =
+  let run ?seed ?init ?init_states ?check_locality ?packed ?faults ?stop_when
+      ?on_obs ?record_trace ?stutter_limit ?telemetry ~daemon ~workload ~steps
+      h =
     fst
-      (run_with_states ?seed ?init ?init_states ?check_locality ?faults
-         ?stop_when ?on_obs ?record_trace ?stutter_limit ?telemetry ~daemon
-         ~workload ~steps h)
+      (run_with_states ?seed ?init ?init_states ?check_locality ?packed
+         ?faults ?stop_when ?on_obs ?record_trace ?stutter_limit ?telemetry
+         ~daemon ~workload ~steps h)
 end

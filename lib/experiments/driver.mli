@@ -37,6 +37,7 @@ module Make (A : Snapcc_runtime.Model.ALGO) : sig
     ?init:[ `Canonical | `Random ] ->
     ?init_states:A.state array ->
     ?check_locality:bool ->
+    ?packed:A.state Snapcc_runtime.Model.packed ->
     ?faults:(step:int -> int list) ->
     ?stop_when:(Snapcc_runtime.Obs.t array -> bool) ->
     ?on_obs:(step:int -> Snapcc_runtime.Obs.t array -> unit) ->
@@ -52,6 +53,8 @@ module Make (A : Snapcc_runtime.Model.ALGO) : sig
       (used to carry states across dynamic-topology changes).
 
       [init_states] overrides [init] with an explicit configuration.
+      [packed] routes the engine through the table-driven fast path (see
+      [Snapcc_runtime.Engine.Make.create]); results are trace-identical.
       [faults ~step] names the processes to corrupt before the given step
       (the monitor is notified, §2.5 exemptions apply).  When the engine
       reports a terminal configuration the driver {e stutters}: inputs may
@@ -71,6 +74,7 @@ module Make (A : Snapcc_runtime.Model.ALGO) : sig
     ?init:[ `Canonical | `Random ] ->
     ?init_states:A.state array ->
     ?check_locality:bool ->
+    ?packed:A.state Snapcc_runtime.Model.packed ->
     ?faults:(step:int -> int list) ->
     ?stop_when:(Snapcc_runtime.Obs.t array -> bool) ->
     ?on_obs:(step:int -> Snapcc_runtime.Obs.t array -> unit) ->

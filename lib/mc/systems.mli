@@ -7,6 +7,30 @@
     which is invisible to every guard and statement, so the quotient is
     exact.  Token domains come from {!Snapcc_token.Layer.S.domain}. *)
 
+module Cc1_sys
+    (T : Snapcc_token.Layer.S)
+    (M : Snapcc_core.Cc1.S with type token_state = T.state) :
+  System.S with type state = M.state
+(** CC1's committee layer over a token domain, as a checkable system.
+    Exposed as a functor (not only through {!all}'s abstract packages) so
+    runtimes can equip a {e typed} [Model.ALGO] instance with the packed
+    tables/interner of the same state type — the engines' packed fast
+    path and the networked runtime's snapshot coder both need the state
+    equality that [(module System.S)] erases. *)
+
+module Cc23_sys
+    (T : Snapcc_token.Layer.S)
+    (M : sig
+      include
+        Snapcc_runtime.Model.ALGO
+          with type state = Snapcc_core.Cc23.cc * T.state
+    end)
+    (C : sig
+      val cursor : bool
+    end) : System.S with type state = M.state
+(** CC2 ([cursor = false]) / CC3 ([cursor = true]); see {!Cc1_sys} for
+    why the functor is public. *)
+
 module Dining_sys : System.S with type state = Snapcc_baselines.Dining.state
 (** The §6 dining-philosophers baseline as a checkable system (used by the
     exact static tier; not an {!all} entry — the baselines make no

@@ -10,18 +10,40 @@ module Make (A : Model.ALGO) = struct
     | Activated of int * string option
     | Delivered of int * int
 
+  (* Table-driven mirror of the transformation state: dense domain ids for
+     every core, cache entry and in-flight snapshot, per-process packed
+     view configurations, and the pending set as bitmasks.  The typed
+     states stay authoritative; the mirror only replaces guard scans and
+     the scheduler's pending-list allocation. *)
+  type pk = {
+    hooks : A.state Model.packed;
+    core_ids : int array;
+    cache_ids : int array array;  (* per process, per slot *)
+    chan_ids : int array array;  (* id carried by the pending snapshot *)
+    cfgs : int array array;
+        (* cfgs.(p): p's view as a global-indexed id vector — own core at
+           [p], caches at the neighbor indices; only support cells are read *)
+    ok : bool array;
+        (* table stored and support within the closed neighborhood: the
+           cells a message-passing view actually maintains *)
+    masks : int array;  (* pending slots per process *)
+    mutable count : int;  (* total pending *)
+  }
+
   type t = {
     h : H.t;
     sem : Sem.t;  (* scheduler + rng: the shared transformation semantics *)
     telemetry : Tele.Hub.t option;
     views : View.t array;  (* per-process core + per-neighbor cache *)
     chan : A.state option array array;  (* chan.(p).(i): pending from i-th neighbor *)
+    actions : A.state Model.action array;
+    mutable pk : pk option;
     mutable sent : int;
     mutable delivered : int;
   }
 
-  let create ?(seed = 0) ?(init = `Canonical) ?(deliver_bias = 0.5) ?telemetry h
-      =
+  let create ?(seed = 0) ?(init = `Canonical) ?(deliver_bias = 0.5) ?telemetry
+      ?packed h =
     let n = H.n h in
     let sem = Sem.create ~deliver_bias ~seed h in
     let rng = Sem.rng sem in
@@ -48,9 +70,68 @@ module Make (A : Model.ALGO) = struct
                 if Random.State.bool rng then Some (A.random_init h rng q) else None)
             (H.neighbors h p))
     in
-    { h; sem; telemetry; views; chan; sent = 0; delivered = 0 }
+    let pk =
+      match packed with
+      | None -> None
+      | Some hooks -> (
+        let in_neighborhood p q = q = p || H.are_neighbors h p q in
+        let ok =
+          Array.init n (fun p ->
+              hooks.Model.pk_built p
+              && Array.for_all (in_neighborhood p) (hooks.Model.pk_support p))
+        in
+        match
+          let core_ids =
+            Array.init n (fun p -> hooks.Model.pk_intern p (View.core views.(p)))
+          in
+          let cache_ids =
+            Array.init n (fun p ->
+                Array.mapi
+                  (fun i q -> hooks.Model.pk_intern q (View.cache views.(p) i))
+                  (H.neighbors h p))
+          in
+          let chan_ids =
+            Array.init n (fun p ->
+                Array.mapi
+                  (fun i -> function
+                    | None -> -1
+                    | Some st -> hooks.Model.pk_intern (H.neighbors h p).(i) st)
+                  chan.(p))
+          in
+          let cfgs =
+            Array.init n (fun p ->
+                let cfg = Array.make n 0 in
+                cfg.(p) <- core_ids.(p);
+                Array.iteri
+                  (fun i q -> cfg.(q) <- cache_ids.(p).(i))
+                  (H.neighbors h p);
+                cfg)
+          in
+          let masks =
+            Array.init n (fun p ->
+                let m = ref 0 in
+                Array.iteri
+                  (fun i s -> if s <> None then m := !m lor (1 lsl i))
+                  chan.(p);
+                !m)
+          in
+          let count =
+            Array.fold_left
+              (fun acc row ->
+                Array.fold_left (fun a m -> if m = None then a else a + 1) acc row)
+              0 chan
+          in
+          { hooks; core_ids; cache_ids; chan_ids; cfgs; ok; masks; count }
+        with
+        | pk -> Some pk
+        | exception Failure _ -> None)
+    in
+    { h; sem; telemetry; views; chan;
+      actions = Array.of_list (A.actions h);
+      pk; sent = 0; delivered = 0 }
 
   let hypergraph t = t.h
+  let engine_kind t = if t.pk = None then `Closure else `Packed
 
   let obs t =
     let cores = Array.map View.core t.views in
@@ -73,12 +154,63 @@ module Make (A : Model.ALGO) = struct
   let broadcast t p =
     Array.iteri
       (fun _i q ->
-        t.chan.(q).(View.slot t.views.(q) p) <- Some (View.core t.views.(p));
+        let slot = View.slot t.views.(q) p in
+        (match t.pk with
+         | Some pk ->
+           if t.chan.(q).(slot) = None then begin
+             pk.masks.(q) <- pk.masks.(q) lor (1 lsl slot);
+             pk.count <- pk.count + 1
+           end;
+           pk.chan_ids.(q).(slot) <- pk.core_ids.(p)
+         | None -> ());
+        t.chan.(q).(slot) <- Some (View.core t.views.(p));
         t.sent <- t.sent + 1)
       (H.neighbors t.h p)
 
+  (* Packed activation: one table lookup instead of the guard closure scan;
+     the statement still runs against the typed view.  [-2] (or an
+     out-of-neighborhood support) falls back to {!View.activate} and
+     re-interns the new core; an interner overflow drops the whole mirror
+     for the rest of the run. *)
+  let view_activate t ~inputs p =
+    match t.pk with
+    | None -> View.activate t.views.(p) ~inputs
+    | Some pk ->
+      let fallback () =
+        let label = View.activate t.views.(p) ~inputs in
+        (match t.pk with
+         | Some pk -> (
+           match pk.hooks.Model.pk_intern p (View.core t.views.(p)) with
+           | id ->
+             pk.core_ids.(p) <- id;
+             pk.cfgs.(p).(p) <- id
+           | exception Failure _ -> t.pk <- None)
+         | None -> ());
+        label
+      in
+      if not pk.ok.(p) then fallback ()
+      else begin
+        let e =
+          pk.hooks.Model.pk_entry ~mode:(Model.mode_of inputs p) ~proc:p
+            pk.cfgs.(p)
+        in
+        if e = -1 then None
+        else if e >= 0 then begin
+          let i = Model.entry_act e in
+          let ctx =
+            { Model.h = t.h; inputs; read = View.read t.views.(p); self = p }
+          in
+          View.set_core t.views.(p) (t.actions.(i).Model.apply ctx);
+          let id = Model.entry_succ e in
+          pk.core_ids.(p) <- id;
+          pk.cfgs.(p).(p) <- id;
+          Some t.actions.(i).Model.label
+        end
+        else fallback ()
+      end
+
   let activate t ~inputs p =
-    let label = View.activate t.views.(p) ~inputs in
+    let label = view_activate t ~inputs p in
     broadcast t p;
     Sem.on_activated t.sem p;
     emit t (Tele.Event.Mp_activated { step = Sem.steps t.sem; p; label });
@@ -88,6 +220,14 @@ module Make (A : Model.ALGO) = struct
     (match t.chan.(p).(i) with
      | Some msg ->
        View.refresh t.views.(p) ~slot:i msg;
+       (match t.pk with
+        | Some pk ->
+          let id = pk.chan_ids.(p).(i) in
+          pk.cache_ids.(p).(i) <- id;
+          pk.cfgs.(p).((H.neighbors t.h p).(i)) <- id;
+          pk.masks.(p) <- pk.masks.(p) land lnot (1 lsl i);
+          pk.count <- pk.count - 1
+        | None -> ());
        Sem.on_cache_refresh t.sem ~dst:p ~slot:i;
        t.chan.(p).(i) <- None;
        t.delivered <- t.delivered + 1
@@ -106,7 +246,12 @@ module Make (A : Model.ALGO) = struct
 
   let step t ~inputs =
     Sem.begin_step t.sem;
-    match Sem.decide t.sem ~pending:(pending t) with
+    let decision =
+      match t.pk with
+      | Some pk -> Sem.decide_masks t.sem ~masks:pk.masks ~count:pk.count
+      | None -> Sem.decide t.sem ~pending:(pending t)
+    in
+    match decision with
     | Sem.Activate p -> activate t ~inputs p
     | Sem.Deliver (p, i) -> deliver t p i
 
@@ -122,8 +267,36 @@ module Make (A : Model.ALGO) = struct
           (H.neighbors t.h p);
         Array.iteri
           (fun i q ->
-            if Random.State.bool rng then
-              t.chan.(p).(i) <- Some (A.random_init t.h rng q))
-          (H.neighbors t.h p))
+            if Random.State.bool rng then begin
+              (match t.pk with
+               | Some pk ->
+                 if t.chan.(p).(i) = None then begin
+                   pk.masks.(p) <- pk.masks.(p) lor (1 lsl i);
+                   pk.count <- pk.count + 1
+                 end
+               | None -> ());
+              t.chan.(p).(i) <- Some (A.random_init t.h rng q)
+            end)
+          (H.neighbors t.h p);
+        (* refresh the mirror for everything the fault rewrote *)
+        match t.pk with
+        | Some pk -> (
+          match
+            let id = pk.hooks.Model.pk_intern p (View.core t.views.(p)) in
+            pk.core_ids.(p) <- id;
+            pk.cfgs.(p).(p) <- id;
+            Array.iteri
+              (fun i q ->
+                let id = pk.hooks.Model.pk_intern q (View.cache t.views.(p) i) in
+                pk.cache_ids.(p).(i) <- id;
+                pk.cfgs.(p).(q) <- id;
+                match t.chan.(p).(i) with
+                | Some st -> pk.chan_ids.(p).(i) <- pk.hooks.Model.pk_intern q st
+                | None -> ())
+              (H.neighbors t.h p)
+          with
+          | () -> ()
+          | exception Failure _ -> t.pk <- None)
+        | None -> ())
       victims
 end

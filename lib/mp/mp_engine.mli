@@ -32,6 +32,7 @@ module Make (A : Snapcc_runtime.Model.ALGO) : sig
     ?init:[ `Canonical | `Random ] ->
     ?deliver_bias:float ->
     ?telemetry:Snapcc_telemetry.Hub.t ->
+    ?packed:A.state Snapcc_runtime.Model.packed ->
     Snapcc_hypergraph.Hypergraph.t ->
     t
   (** [deliver_bias] (default 0.5) is the probability that a step delivers a
@@ -39,9 +40,23 @@ module Make (A : Snapcc_runtime.Model.ALGO) : sig
       it shrinks.  [`Random] also randomizes caches and channels.
       [telemetry] receives [mp_activated] per activation, [mp_delivered]
       per delivery and [fault] on {!corrupt}, stamped with the scheduler
-      step. *)
+      step.
+
+      [packed] enables the table-driven fast path: guard scans on each
+      activation become one packed-table lookup, and the scheduler's
+      pending list becomes a bitmask.  Strictly an accelerator — the typed
+      views stay authoritative, statements still execute, and a packed run
+      is event-for-event identical to the closure run of the same seed
+      (cells without a stored table, or whose support leaks outside the
+      closed neighborhood, transparently fall back to the guard
+      closures). *)
 
   val hypergraph : t -> Snapcc_hypergraph.Hypergraph.t
+
+  val engine_kind : t -> [ `Packed | `Closure ]
+  (** Which stepping path this run is on.  [`Packed] requires [?packed]
+      hooks at {!create} and degrades to [`Closure] permanently if the
+      interner ever overflows (never silently wrong, just slower). *)
 
   val obs : t -> Snapcc_runtime.Obs.t array
   (** Observation of the true (core) configuration. *)

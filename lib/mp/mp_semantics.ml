@@ -71,5 +71,58 @@ let decide t ~pending =
       end
       else Activate (Random.State.int t.rng t.n))
 
+(* Same decision function over a packed pending set: [masks.(p)] holds one
+   bit per slot of [p]'s neighbor array, [count] the total number of set
+   bits.  Draw-for-draw identical to {!decide} on the list [Mp_engine]
+   builds (descending lexicographic): the stale scan walks (p, slot)
+   descending, and the uniform pick at rank [k] of the descending list is
+   the element at ascending rank [count - 1 - k].  No allocation. *)
+exception Found of int * int
+
+let decide_masks t ~masks ~count =
+  let bound = fairness_bound t in
+  let starving = ref None in
+  for p = t.n - 1 downto 0 do
+    if t.idle_for.(p) >= bound then starving := Some p
+  done;
+  match !starving with
+  | Some p -> Activate p
+  | None -> (
+    match
+      for p = t.n - 1 downto 0 do
+        let m = masks.(p) in
+        if m <> 0 then
+          for i = Array.length t.cache_age.(p) - 1 downto 0 do
+            if m land (1 lsl i) <> 0 && t.cache_age.(p).(i) >= bound then
+              raise (Found (p, i))
+          done
+      done
+    with
+    | exception Found (p, i) -> Deliver (p, i)
+    | () ->
+      if count > 0 && Random.State.float t.rng 1.0 < t.deliver_bias then begin
+        let k = Random.State.int t.rng count in
+        let rank = ref (count - 1 - k) in
+        match
+          for p = 0 to t.n - 1 do
+            let m = ref masks.(p) in
+            while !m <> 0 do
+              let i = !m land - !m in
+              (* lowest set bit, as a power of two *)
+              let slot =
+                let rec log2 v acc = if v = 1 then acc else log2 (v lsr 1) (acc + 1) in
+                log2 i 0
+              in
+              if !rank = 0 then raise (Found (p, slot));
+              decr rank;
+              m := !m land (!m - 1)
+            done
+          done
+        with
+        | exception Found (p, i) -> Deliver (p, i)
+        | () -> invalid_arg "Mp_semantics.decide_masks: count exceeds masks"
+      end
+      else Activate (Random.State.int t.rng t.n))
+
 let on_activated t p = t.idle_for.(p) <- 0
 let on_cache_refresh t ~dst ~slot = t.cache_age.(dst).(slot) <- 0

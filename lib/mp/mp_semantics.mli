@@ -47,6 +47,13 @@ val decide : t -> pending:(int * int) list -> decision
     {!Mp_engine} builds it (descending lexicographic); forced events are
     checked first, then the RNG chooses delivery vs activation. *)
 
+val decide_masks : t -> masks:int array -> count:int -> decision
+(** {!decide} over a packed pending set — [masks.(p)] has one bit per slot
+    of [p]'s sorted neighbor array, [count] is the total number of set
+    bits.  Makes exactly the same RNG draws and returns exactly the same
+    decision as {!decide} on the corresponding descending-lexicographic
+    list, without allocating it (the packed engine's steady-state path). *)
+
 val on_activated : t -> int -> unit
 (** Record that the process was activated (resets its starvation
     counter). *)

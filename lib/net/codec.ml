@@ -1,4 +1,4 @@
-let version = 1
+let version = 2
 let magic = "SNCC"
 
 let algo_tag = function
@@ -21,6 +21,9 @@ type msg =
   | Activated of { label : string option; core : string }
   | Deliver of { src : int; state : string }
   | Delivered
+  | Deliver_full of { src : int; seq : int; form : int; payload : string }
+  | Deliver_delta of { src : int; seq : int; base_seq : int; delta : string }
+  | Resync of { reason : string }
   | Corrupt of { core : string; cache : string }
   | Corrupted
   | Decode_error of { reason : string }
@@ -160,6 +163,9 @@ let kind_of_msg = function
   | Decode_error _ -> 10
   | Bye -> 11
   | Bye_ack _ -> 12
+  | Deliver_full _ -> 13
+  | Deliver_delta _ -> 14
+  | Resync _ -> 15
 
 let write_payload b = function
   | Hello { id } -> w_i64 b id
@@ -184,6 +190,17 @@ let write_payload b = function
     w_i64 b src;
     w_str b state
   | Delivered -> ()
+  | Deliver_full { src; seq; form; payload } ->
+    w_i64 b src;
+    w_i64 b seq;
+    w_u8 b form;
+    w_str b payload
+  | Deliver_delta { src; seq; base_seq; delta } ->
+    w_i64 b src;
+    w_i64 b seq;
+    w_i64 b base_seq;
+    w_str b delta
+  | Resync { reason } -> w_str b reason
   | Corrupt { core; cache } ->
     w_str b core;
     w_str b cache
@@ -230,6 +247,18 @@ let read_payload r kind =
   | 12 ->
     let frames = r_i64 r in
     Bye_ack { frames; decode_errors = r_i64 r }
+  | 13 ->
+    let src = r_i64 r in
+    let seq = r_i64 r in
+    let form = r_u8 r in
+    if form > 1 then raise (Malformed (Printf.sprintf "payload form %d" form));
+    Deliver_full { src; seq; form; payload = r_str r }
+  | 14 ->
+    let src = r_i64 r in
+    let seq = r_i64 r in
+    let base_seq = r_i64 r in
+    Deliver_delta { src; seq; base_seq; delta = r_str r }
+  | 15 -> Resync { reason = r_str r }
   | k -> raise (Unknown_kind k)
 
 (* --- frame body --------------------------------------------------------- *)

@@ -51,8 +51,26 @@ type msg =
           new true core — the full-state snapshot that the link layer
           fans out to the neighbors. *)
   | Deliver of { src : int; state : string }
-      (** orchestrator → node: a neighbor's snapshot reached you. *)
+      (** orchestrator → node: a neighbor's snapshot reached you
+          (version-1 full-marshal form, still used by the closure
+          engine). *)
   | Delivered  (** node → orchestrator: cache refreshed *)
+  | Deliver_full of { src : int; seq : int; form : int; payload : string }
+      (** orchestrator → node, packed engine: a full snapshot.  [form] 1:
+          [payload] is the sender's state as an 8-byte little-endian
+          packed-domain id; [form] 0: a marshalled state (the fallback for
+          states outside the interned domain).  [seq] names the snapshot
+          per link so deltas can reference it. *)
+  | Deliver_delta of { src : int; seq : int; base_seq : int; delta : string }
+      (** orchestrator → node, packed engine: the snapshot as a
+          {!Delta} against the last payload the node acknowledged on this
+          link ([base_seq]); the target keeps the base's form. *)
+  | Resync of { reason : string }
+      (** node → orchestrator: a [Deliver_full]/[Deliver_delta] was
+          well-formed on the wire but could not be applied (base out of
+          sync, delta CRC mismatch, unknown packed id).  The orchestrator
+          treats it like a transient fault and falls back to a full
+          snapshot — never a wrong state. *)
   | Corrupt of { core : string; cache : string }
       (** orchestrator → node: transient fault injection — replace core
           and cache wholesale. *)

@@ -1,0 +1,104 @@
+(* XOR-delta coding of snapshot payloads against a base both ends agree
+   on.  Payloads are treated as sequences of 8-byte words (the packed
+   engine's configuration words; the last word is zero-padded): a delta
+   records only the words that changed, XORed against the base, plus a
+   CRC-32 of the reconstructed target so an out-of-sync base is detected
+   — never silently applied. *)
+
+let word = 8
+let max_words = 0xff
+
+let nwords len = (len + word - 1) / word
+
+(* the i-th zero-padded 8-byte word of [s] *)
+let get_word s i =
+  let v = ref 0L in
+  let len = String.length s in
+  for k = word - 1 downto 0 do
+    let j = (i * word) + k in
+    let b = if j < len then Char.code s.[j] else 0 in
+    v := Int64.logor (Int64.shift_left !v 8) (Int64.of_int b)
+  done;
+  !v
+
+let encode ~base ~target =
+  let len = String.length target in
+  if String.length base <> len || nwords len > max_words then None
+  else begin
+    let changed = ref [] in
+    let count = ref 0 in
+    for i = nwords len - 1 downto 0 do
+      let x = Int64.logxor (get_word base i) (get_word target i) in
+      if x <> 0L then begin
+        changed := (i, x) :: !changed;
+        incr count
+      end
+    done;
+    if !count > max_words then None
+    else begin
+      let b = Buffer.create (2 + (!count * (word + 1)) + 4) in
+      Buffer.add_char b (Char.chr !count);
+      List.iter
+        (fun (i, x) ->
+          Buffer.add_char b (Char.chr i);
+          for k = 0 to word - 1 do
+            Buffer.add_char b
+              (Char.chr
+                 (Int64.to_int (Int64.shift_right_logical x (8 * k)) land 0xff))
+          done)
+        !changed;
+      let crc = Codec.crc32 target in
+      let crc = Int32.to_int (Int32.logand crc 0xFFFFFFFFl) land 0xFFFFFFFF in
+      Buffer.add_char b (Char.chr ((crc lsr 24) land 0xff));
+      Buffer.add_char b (Char.chr ((crc lsr 16) land 0xff));
+      Buffer.add_char b (Char.chr ((crc lsr 8) land 0xff));
+      Buffer.add_char b (Char.chr (crc land 0xff));
+      Some (Buffer.contents b)
+    end
+  end
+
+let apply ~base delta =
+  let dlen = String.length delta in
+  if dlen < 5 then None
+  else begin
+    let count = Char.code delta.[0] in
+    if dlen <> 1 + (count * (word + 1)) + 4 then None
+    else begin
+      let len = String.length base in
+      let out = Bytes.of_string base in
+      let ok = ref true in
+      for c = 0 to count - 1 do
+        let off = 1 + (c * (word + 1)) in
+        let i = Char.code delta.[off] in
+        if i >= nwords len then ok := false
+        else
+          for k = 0 to word - 1 do
+            let j = (i * word) + k in
+            if j < len then
+              Bytes.set out j
+                (Char.chr
+                   (Char.code (Bytes.get out j)
+                   lxor Char.code delta.[off + 1 + k]))
+            else if delta.[off + 1 + k] <> '\000' then
+              (* xor bits beyond the payload: the base is not what the
+                 encoder diffed against *)
+              ok := false
+          done
+      done;
+      if not !ok then None
+      else begin
+        let target = Bytes.to_string out in
+        let stored =
+          (Char.code delta.[dlen - 4] lsl 24)
+          lor (Char.code delta.[dlen - 3] lsl 16)
+          lor (Char.code delta.[dlen - 2] lsl 8)
+          lor Char.code delta.[dlen - 1]
+        in
+        let crc =
+          Int32.to_int (Int32.logand (Codec.crc32 target) 0xFFFFFFFFl)
+          land 0xFFFFFFFF
+        in
+        if crc <> stored then None else Some target
+      end
+    end
+  end

@@ -1,0 +1,23 @@
+(** XOR-delta coding of snapshot payloads for the packed wire format.
+
+    A delta describes a [target] payload relative to a [base] payload of
+    the same length that sender and receiver both hold (the last snapshot
+    the receiver acknowledged on that link).  Payloads are diffed as
+    zero-padded 8-byte words; only changed words are transmitted, so the
+    heartbeat case — a re-broadcast of an unchanged state — costs a
+    5-byte empty delta.  Every delta embeds a CRC-32 of the target, so
+    applying it against the {e wrong} base (the receiver lost sync, e.g.
+    its cache was hit by a transient fault) fails cleanly instead of
+    reconstructing a wrong state: the receiver then requests a full
+    snapshot. *)
+
+val encode : base:string -> target:string -> string option
+(** [None] when no delta exists: the lengths differ or the payload
+    exceeds 255 words (2040 bytes) — callers fall back to a full
+    snapshot.  An encodable delta is [1 + 9×changed_words + 4] bytes. *)
+
+val apply : base:string -> string -> string option
+(** Reconstruct the target from [base] and a delta.  [None] if the delta
+    is structurally malformed {e or} the embedded CRC of the
+    reconstruction does not match — i.e. [base] is not the payload the
+    delta was encoded against. *)

@@ -1,17 +1,62 @@
+module H = Snapcc_hypergraph.Hypergraph
+module Systems = Snapcc_mc.Systems
 module Cc1 = Snapcc_core.Cc1.Std (Snapcc_token.Token_tree)
 module Cc2 = Snapcc_core.Cc23.Cc2_std (Snapcc_token.Token_tree)
 module Cc3 = Snapcc_core.Cc23.Cc3_std (Snapcc_token.Token_tree)
+
+type coder = {
+  to_id : proc:int -> string -> int option;
+  of_id : proc:int -> int -> string option;
+}
+
+(* Both ends build the coder independently from the shared topology:
+   [Encode.create] interns the declared state domain in a deterministic
+   order, so orchestrator and node agree on every id without exchanging a
+   dictionary.  Only the pre-interned domain is used ([Enc.find], never
+   [Enc.intern]): a state outside it — possible only if the domain
+   declaration is not closed — simply has no id and travels as a full
+   marshalled snapshot. *)
+module Coder (Sys : Snapcc_mc.System.S) = struct
+  module Enc = Snapcc_mc.Encode.Make (Sys)
+
+  let make h =
+    let enc = Enc.create h in
+    {
+      to_id =
+        (fun ~proc s ->
+          Enc.find enc proc (Marshal.from_string s 0 : Sys.state));
+      of_id =
+        (fun ~proc id ->
+          if id < 0 || id >= Enc.domain_count enc proc then None
+          else Some (Marshal.to_string (Enc.state enc proc id) []));
+    }
+end
+
+module Cc1_coder = Coder (Systems.Cc1_sys (Snapcc_token.Token_tree) (Cc1))
+module Cc2_coder =
+  Coder
+    (Systems.Cc23_sys (Snapcc_token.Token_tree) (Cc2)
+       (struct
+         let cursor = false
+       end))
+module Cc3_coder =
+  Coder
+    (Systems.Cc23_sys (Snapcc_token.Token_tree) (Cc3)
+       (struct
+         let cursor = true
+       end))
 
 type entry = {
   name : string;
   tag : int;
   algo : (module Snapcc_runtime.Model.ALGO);
+  coder : H.t -> coder;
 }
 
 let all =
-  [ { name = "cc1"; tag = 1; algo = (module Cc1) };
-    { name = "cc2"; tag = 2; algo = (module Cc2) };
-    { name = "cc3"; tag = 3; algo = (module Cc3) } ]
+  [ { name = "cc1"; tag = 1; algo = (module Cc1); coder = Cc1_coder.make };
+    { name = "cc2"; tag = 2; algo = (module Cc2); coder = Cc2_coder.make };
+    { name = "cc3"; tag = 3; algo = (module Cc3); coder = Cc3_coder.make } ]
 
 let find name = List.find_opt (fun e -> e.name = name) all
 let find_tag tag = List.find_opt (fun e -> e.tag = tag) all

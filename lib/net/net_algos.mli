@@ -11,10 +11,27 @@ module Cc1 : Snapcc_runtime.Model.ALGO
 module Cc2 : Snapcc_runtime.Model.ALGO
 module Cc3 : Snapcc_runtime.Model.ALGO
 
+(** Snapshot payload coder for the packed wire format: a bijection
+    between marshalled states and the dense per-process ids of the
+    checker's interned state domain ({!Snapcc_mc.Encode}), at the bytes
+    level so the protocol plumbing stays monomorphic. *)
+type coder = {
+  to_id : proc:int -> string -> int option;
+      (** [None]: the state is outside the interned domain (escapee) and
+          must travel as a full marshalled snapshot. *)
+  of_id : proc:int -> int -> string option;
+      (** Marshalled (canonicalized) state for a domain id; [None] for an
+          out-of-range id. *)
+}
+
 type entry = {
   name : string;
   tag : int;  (** {!Codec} algo tag *)
   algo : (module Snapcc_runtime.Model.ALGO);
+  coder : Snapcc_hypergraph.Hypergraph.t -> coder;
+      (** Built independently on each side from the shared topology —
+          [Encode] interns the declared domain deterministically, so both
+          ends agree on every id without exchanging a dictionary. *)
 }
 
 val all : entry list

@@ -6,13 +6,46 @@ let fail fmt = Printf.ksprintf failwith fmt
 module Work (A : Model.ALGO) = struct
   module V = Snapcc_mp.Mp_view.Make (A)
 
-  let run fd ~id ~tag ~h ~core ~cache =
+  (* Decode a snapshot payload.  Form 1 carries the sender's state as an
+     8-byte little-endian packed-domain id; form 0 a marshalled state.
+     [None] means the payload is well-formed bytes but not applicable
+     (unknown id / wrong width) — the caller requests a resync instead of
+     guessing at a state. *)
+  let payload_state (coder : Net_algos.coder) ~src ~form payload : A.state option =
+    match form with
+    | 0 -> Some (Marshal.from_string payload 0 : A.state)
+    | 1 ->
+      if String.length payload <> 8 then None
+      else begin
+        let id = ref 0 in
+        for k = 7 downto 0 do
+          id := (!id lsl 8) lor Char.code payload.[k]
+        done;
+        match coder.Net_algos.of_id ~proc:src !id with
+        | None -> None
+        | Some s -> Some (Marshal.from_string s 0 : A.state)
+      end
+    | _ -> None
+
+  let run fd ~id ~tag ~h ~core ~cache ~coder =
     let core : A.state = Marshal.from_string core 0 in
     let cache : A.state array = Marshal.from_string cache 0 in
     let view = V.create h ~self:id ~core ~cache in
+    (* last accepted snapshot payload per cache slot, for delta decoding *)
+    let deg = Array.length cache in
+    let pay_seq = Array.make deg (-1) in
+    let pay_form = Array.make deg 0 in
+    let pay = Array.make deg "" in
     let frames = ref 1 (* the Init frame *) in
     let decode_errors = ref 0 in
     let send msg = Wire.write fd (Codec.encode ~algo:tag msg) in
+    let accept ~slot ~seq ~form ~payload st =
+      V.refresh view ~slot st;
+      pay_seq.(slot) <- seq;
+      pay_form.(slot) <- form;
+      pay.(slot) <- payload;
+      send Codec.Delivered
+    in
     send Codec.Ready;
     let stop = ref false in
     while not !stop do
@@ -38,6 +71,23 @@ module Work (A : Model.ALGO) = struct
           let st : A.state = Marshal.from_string state 0 in
           V.refresh view ~slot:(V.slot view src) st;
           send Codec.Delivered
+        | Ok (_, Codec.Deliver_full { src; seq; form; payload }) -> (
+          let slot = V.slot view src in
+          match payload_state coder ~src ~form payload with
+          | Some st -> accept ~slot ~seq ~form ~payload st
+          | None -> send (Codec.Resync { reason = "unknown packed id" }))
+        | Ok (_, Codec.Deliver_delta { src; seq; base_seq; delta }) -> (
+          let slot = V.slot view src in
+          if pay_seq.(slot) <> base_seq then
+            send (Codec.Resync { reason = "base out of sync" })
+          else
+            match Delta.apply ~base:pay.(slot) delta with
+            | None -> send (Codec.Resync { reason = "delta does not apply" })
+            | Some target -> (
+              let form = pay_form.(slot) in
+              match payload_state coder ~src ~form target with
+              | Some st -> accept ~slot ~seq ~form ~payload:target st
+              | None -> send (Codec.Resync { reason = "unknown packed id" })))
         | Ok (_, Codec.Corrupt { core; cache }) ->
           let core : A.state = Marshal.from_string core 0 in
           let cache : A.state array = Marshal.from_string cache 0 in
@@ -53,7 +103,7 @@ module Work (A : Model.ALGO) = struct
             ( _,
               ( Codec.Hello _ | Codec.Init _ | Codec.Ready | Codec.Activated _
               | Codec.Delivered | Codec.Corrupted | Codec.Decode_error _
-              | Codec.Bye_ack _ ) ) ->
+              | Codec.Resync _ | Codec.Bye_ack _ ) ) ->
           incr decode_errors;
           send (Codec.Decode_error { reason = "unexpected message kind" }))
     done
@@ -77,5 +127,6 @@ let serve ~id fd =
         | Ok h ->
           let module A = (val entry.Net_algos.algo) in
           let module W = Work (A) in
-          W.run fd ~id ~tag ~h ~core ~cache))
+          W.run fd ~id ~tag ~h ~core ~cache
+            ~coder:(entry.Net_algos.coder h)))
     | Ok (_, _) -> fail "node %d: expected init frame" id)

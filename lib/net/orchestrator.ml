@@ -15,7 +15,13 @@ type config = {
   steps : int;
   plan : Faults.plan;
   burst : int option;
+  engine : [ `Packed | `Closure ];
 }
+
+(* How many consecutive deltas a link may send before it must refresh the
+   receiver with a full snapshot (bounds resynchronization time after any
+   undetected divergence). *)
+let keyframe_interval = 16
 
 type result = {
   steps : int;
@@ -26,6 +32,7 @@ type result = {
   delivered : int;
   dropped : int;
   malformed : int;
+  resyncs : int;
   bytes_sent : int;
   bytes_delivered : int;
   in_flight : int;
@@ -45,7 +52,20 @@ let fail fmt = Printf.ksprintf failwith fmt
 module Make (A : Model.ALGO) = struct
   let marshal (v : A.state) = Marshal.to_string v []
 
-  let go ?telemetry ~mode ~workload ~tag (cfg : config) h =
+  (* per-link sender state of the packed wire format: the last payload
+     the receiver acknowledged (the delta base), and the keyframe
+     counter *)
+  type lstate = {
+    mutable acked : (int * int * string) option;  (* seq, form, payload *)
+    mutable since_key : int;
+    mutable next_seq : int;
+  }
+
+  let le64 id =
+    String.init 8 (fun k -> Char.chr ((id lsr (8 * k)) land 0xff))
+
+  let go ?telemetry ~mode ~workload ~tag ~(coder : Net_algos.coder option)
+      (cfg : config) h =
     let t0 = Unix.gettimeofday () in
     let n = H.n h in
     let plan = cfg.plan in
@@ -111,11 +131,18 @@ module Make (A : Model.ALGO) = struct
     let emit ev =
       match telemetry with Some hub -> Tele.Hub.emit hub ev | None -> ()
     in
+    let lstates =
+      Array.init n (fun dst ->
+          Array.map
+            (fun _ -> { acked = None; since_key = 0; next_seq = 0 })
+            (H.neighbors h dst))
+    in
     (* counters *)
     let sent = ref 0 in
     let delivered = ref 0 in
     let dropped = ref 0 in
     let malformed = ref 0 in
+    let resyncs = ref 0 in
     let bytes_sent = ref 0 in
     let bytes_delivered = ref 0 in
     let terminations = ref 0 in
@@ -209,6 +236,34 @@ module Make (A : Model.ALGO) = struct
           emit (Tele.Event.Mp_activated { step = Sem.steps sem; p; label })
         | _ -> fail "net: node %d: expected activated" p
       in
+      (* Snapshot frame for one delivery under the packed wire format:
+         prefer a delta against the link's acknowledged base, fall back
+         to a full frame (first contact, form change, keyframe due, or
+         the delta would not be smaller).  Returns the frame and its
+         snapshot-payload wire cost. *)
+      let packed_frame coder lst ~src e =
+        let seq = lst.next_seq in
+        lst.next_seq <- seq + 1;
+        let form, payload =
+          match coder.Net_algos.to_id ~proc:src e.Link.state with
+          | Some id -> (1, le64 id)
+          | None -> (0, e.Link.state)
+        in
+        let full = (Codec.Deliver_full { src; seq; form; payload }, 1 + String.length payload) in
+        let frame =
+          match lst.acked with
+          | Some (base_seq, bform, bpay)
+            when bform = form && lst.since_key < keyframe_interval -> (
+            match Delta.encode ~base:bpay ~target:payload with
+            | Some d when String.length d < 1 + String.length payload ->
+              (Codec.Deliver_delta { src; seq; base_seq; delta = d },
+               String.length d)
+            | _ -> full
+          )
+          | _ -> full
+        in
+        (frame, seq, form, payload)
+      in
       let deliver p slot =
         let link = links.(p).(slot) in
         let src = Link.src link in
@@ -216,24 +271,7 @@ module Make (A : Model.ALGO) = struct
         match Link.pop link ~plan ~step:(step - 1) with
         | None -> fail "net: deliver decision on an empty link %d.%d" p slot
         | Some e ->
-          let body = Codec.encode ~algo:tag (Codec.Deliver { src; state = e.Link.state }) in
-          let bytes = String.length e.Link.state in
-          if e.Link.corrupt then begin
-            send_raw p (Codec.corrupt_body frame_rng body);
-            (match recv p with
-             | Codec.Decode_error _ -> ()
-             | _ -> fail "net: node %d accepted a corrupted frame" p);
-            emit
-              (Tele.Event.Net_dropped
-                 { step; src; dst = p; reason = "malformed" });
-            incr malformed;
-            incr dropped
-          end
-          else begin
-            send_raw p body;
-            (match recv p with
-             | Codec.Delivered -> ()
-             | _ -> fail "net: node %d: expected delivered" p);
+          let finish bytes =
             Sem.on_cache_refresh sem ~dst:p ~slot;
             incr delivered;
             bytes_delivered := !bytes_delivered + bytes;
@@ -245,7 +283,72 @@ module Make (A : Model.ALGO) = struct
             emit
               (Tele.Event.Net_delivered
                  { step; src; dst = p; bytes; latency_us })
-          end
+          in
+          let reject body =
+            send_raw p (Codec.corrupt_body frame_rng body);
+            (match recv p with
+             | Codec.Decode_error _ -> ()
+             | _ -> fail "net: node %d accepted a corrupted frame" p);
+            emit
+              (Tele.Event.Net_dropped
+                 { step; src; dst = p; reason = "malformed" });
+            incr malformed;
+            incr dropped
+          in
+          (match coder with
+           | None ->
+             (* version-1 delivery: one full marshalled snapshot *)
+             let body =
+               Codec.encode ~algo:tag (Codec.Deliver { src; state = e.Link.state })
+             in
+             if e.Link.corrupt then reject body
+             else begin
+               send_raw p body;
+               (match recv p with
+                | Codec.Delivered -> ()
+                | _ -> fail "net: node %d: expected delivered" p);
+               finish (String.length e.Link.state)
+             end
+           | Some coder ->
+             let lst = lstates.(p).(slot) in
+             let (msg, wire), seq, form, payload = packed_frame coder lst ~src e in
+             if e.Link.corrupt then
+               (* the fault injector flips frame bytes; the node's strict
+                  decoder must reject it before any delta bookkeeping, so
+                  neither side's base moves *)
+               reject (Codec.encode ~algo:tag msg)
+             else begin
+               send_raw p (Codec.encode ~algo:tag msg);
+               match recv p with
+               | Codec.Delivered ->
+                 lst.acked <- Some (seq, form, payload);
+                 (match msg with
+                  | Codec.Deliver_delta _ -> lst.since_key <- lst.since_key + 1
+                  | _ -> lst.since_key <- 0);
+                 finish wire
+               | Codec.Resync _ ->
+                 (* the node could not apply the frame (lost base, CRC
+                    mismatch, unknown id): a transient fault, answered
+                    with a full snapshot — never a wrong state *)
+                 incr resyncs;
+                 emit
+                   (Tele.Event.Net_dropped
+                      { step; src; dst = p; reason = "resync" });
+                 lst.acked <- None;
+                 lst.since_key <- 0;
+                 let seq2 = lst.next_seq in
+                 lst.next_seq <- seq2 + 1;
+                 send_raw p
+                   (Codec.encode ~algo:tag
+                      (Codec.Deliver_full
+                         { src; seq = seq2; form = 0; payload = e.Link.state }));
+                 (match recv p with
+                  | Codec.Delivered ->
+                    lst.acked <- Some (seq2, 0, e.Link.state);
+                    finish (wire + 1 + String.length e.Link.state)
+                  | _ -> fail "net: node %d: expected delivered after resync" p)
+               | _ -> fail "net: node %d: expected delivered" p
+             end)
       in
       let corruption_burst i =
         let victims = List.init (max 1 (n / 2)) (fun k -> 2 * k mod n) in
@@ -353,6 +456,7 @@ module Make (A : Model.ALGO) = struct
         delivered = !delivered;
         dropped = !dropped;
         malformed = !malformed;
+        resyncs = !resyncs;
         bytes_sent = !bytes_sent;
         bytes_delivered = !bytes_delivered;
         in_flight;
@@ -383,17 +487,23 @@ let run ?telemetry ~mode ~workload (cfg : config) h =
   | Some entry ->
     let module A = (val entry.Net_algos.algo) in
     let module O = Make (A) in
-    Ok (O.go ?telemetry ~mode ~workload ~tag:entry.Net_algos.tag cfg h)
+    let coder =
+      match cfg.engine with
+      | `Packed -> Some (entry.Net_algos.coder h)
+      | `Closure -> None
+    in
+    Ok (O.go ?telemetry ~mode ~workload ~tag:entry.Net_algos.tag ~coder cfg h)
 
 let pp_result ppf r =
   Format.fprintf ppf
     "@[<v>%d steps: %d meetings convened, %d terminated, %d violations@,\
-     messages: %d sent, %d delivered, %d dropped (%d malformed), %d in flight@,\
+     messages: %d sent, %d delivered, %d dropped (%d malformed, %d resyncs), \
+     %d in flight@,\
      bytes: %d sent, %d delivered; max staleness %d steps@,\
      nodes: %d frames received, %d decode errors; wall %.3fs"
     r.steps r.convenes r.terminations
     (List.length r.violations)
-    r.sent r.delivered r.dropped r.malformed r.in_flight r.bytes_sent
+    r.sent r.delivered r.dropped r.malformed r.resyncs r.in_flight r.bytes_sent
     r.bytes_delivered r.max_staleness r.node_frames r.node_decode_errors
     r.wall_s;
   (match r.burst_step with

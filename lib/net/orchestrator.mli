@@ -30,6 +30,17 @@ type config = {
   burst : int option;
       (** soak mode: corrupt half the nodes (cores, caches and in-flight
           messages, like [Mp_engine.corrupt]) at this step *)
+  engine : [ `Packed | `Closure ];
+      (** Wire format for snapshot deliveries.  [`Closure] sends the
+          version-1 full-marshal [Deliver] frames.  [`Packed] encodes a
+          snapshot as its packed-domain id and, when the receiver holds
+          an acknowledged base on that link, as an XOR {!Delta} against
+          it (empty for heartbeats), with a full frame forced every
+          [keyframe] deliveries; a node that cannot apply a frame answers
+          [Resync] and is re-sent a full snapshot ({!result.resyncs}).
+          The choice changes only bytes on the wire: scheduler decisions,
+          states and observable events are identical between the two
+          engines run seed-for-seed (the parity suite asserts it). *)
 }
 
 type result = {
@@ -41,8 +52,19 @@ type result = {
   delivered : int;
   dropped : int;  (** total losses, all reasons *)
   malformed : int;  (** corrupted frames rejected by the strict decoder *)
+  resyncs : int;
+      (** packed engine: frames the node answered with [Resync]
+          (out-of-sync delta base, unknown id) — each was retried as a
+          full snapshot, counted as a transient fault, never applied
+          wrongly *)
   bytes_sent : int;
+      (** marshalled snapshot bytes handed to the link layer (independent
+          of the wire engine) *)
   bytes_delivered : int;
+      (** snapshot payload bytes that actually crossed the wire on
+          successful deliveries — under [`Packed] this is the
+          delta/packed-id cost, the quantity the bench's
+          [bytes_per_snapshot] tracks *)
   in_flight : int;  (** snapshots still queued at the end *)
   max_staleness : int;
   latencies_us : int list;  (** delivery latencies, chronological *)

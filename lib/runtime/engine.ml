@@ -14,9 +14,19 @@ module Make (A : Model.ALGO) = struct
         (* processes from the round's initial enabled set still to activate
            or neutralize; [None] until the first step establishes it *)
     cont_enabled : int array;
+    (* table-driven fast path: [ids] mirrors [states] as dense domain ids
+       (of the canonicalized states) while [packed] is live; [pk_act] /
+       [pk_succ] are per-step scratch ([pk_succ.(p) = -1] marks a process
+       whose guard scan fell back to closures, so its successor must be
+       interned instead of copied from the table entry) *)
+    mutable packed : A.state Model.packed option;
+    ids : int array;
+    pk_act : int array;
+    pk_succ : int array;
   }
 
-  let create ?(seed = 0) ?(check_locality = false) ?(init = `Canonical) ~daemon h =
+  let create ?(seed = 0) ?(check_locality = false) ?(init = `Canonical)
+      ?packed ~daemon h =
     let n = H.n h in
     let rng = Random.State.make [| seed; n; 0xcc |] in
     let states =
@@ -26,6 +36,14 @@ module Make (A : Model.ALGO) = struct
       | `States s ->
         if Array.length s <> n then invalid_arg "Engine.create: bad state array";
         Array.copy s
+    in
+    let packed, ids =
+      match packed with
+      | None -> (None, [||])
+      | Some pk -> (
+        match Array.init n (fun p -> pk.Model.pk_intern p states.(p)) with
+        | ids -> (Some pk, ids)
+        | exception Failure _ -> (None, [||]))
     in
     {
       h;
@@ -38,15 +56,33 @@ module Make (A : Model.ALGO) = struct
       round_no = 0;
       round_pending = None;
       cont_enabled = Array.make n 0;
+      packed;
+      ids;
+      pk_act = Array.make n (-1);
+      pk_succ = Array.make n (-1);
     }
+
+  let engine_kind t = if t.packed = None then `Closure else `Packed
 
   let hypergraph t = t.h
   let states t = Array.copy t.states
   let state t p = t.states.(p)
 
+  (* Re-intern (part of) the mirror, dropping to closures for the rest of
+     the run if the interner overflows its escapee headroom — states stay
+     authoritative, so nothing is lost but speed. *)
+  let reintern t ps =
+    match t.packed with
+    | None -> ()
+    | Some pk -> (
+      match List.iter (fun p -> t.ids.(p) <- pk.Model.pk_intern p t.states.(p)) ps with
+      | () -> ()
+      | exception Failure _ -> t.packed <- None)
+
   let set_states t s =
     if Array.length s <> H.n t.h then invalid_arg "Engine.set_states";
-    t.states <- Array.copy s
+    t.states <- Array.copy s;
+    reintern t (List.init (H.n t.h) Fun.id)
 
   let obs t = Array.init (H.n t.h) (A.observe t.h t.states)
   let steps_taken t = t.step_no
@@ -85,8 +121,50 @@ module Make (A : Model.ALGO) = struct
   let enabled_action t ~inputs p =
     Option.map (fun i -> t.actions.(i).Model.label) (priority_action t ~inputs p)
 
+  (* Table-driven guard scan: one entry lookup per process, falling back to
+     the closure scan for cells the tables do not cover ([-2]).  Fills the
+     scratch arrays for the execution phase and returns the enabled list in
+     the same ascending order as {!enabled}, so the daemon sees an
+     identical selection problem (and makes identical RNG draws). *)
+  let packed_scan t pk ~inputs =
+    let acc = ref [] in
+    for p = H.n t.h - 1 downto 0 do
+      let e = pk.Model.pk_entry ~mode:(Model.mode_of inputs p) ~proc:p t.ids in
+      if e >= 0 then begin
+        t.pk_act.(p) <- Model.entry_act e;
+        t.pk_succ.(p) <- Model.entry_succ e;
+        acc := p :: !acc
+      end
+      else if e = -1 then t.pk_act.(p) <- -1
+      else begin
+        (match priority_action t ~inputs p with
+         | None -> t.pk_act.(p) <- -1
+         | Some i ->
+           t.pk_act.(p) <- i;
+           t.pk_succ.(p) <- -1;
+           acc := p :: !acc)
+      end
+    done;
+    !acc
+
+  (* Same lookup, membership only (the post-step enabled set). *)
+  let packed_enabled t pk ~inputs =
+    let acc = ref [] in
+    for p = H.n t.h - 1 downto 0 do
+      let e = pk.Model.pk_entry ~mode:(Model.mode_of inputs p) ~proc:p t.ids in
+      let on =
+        if e = -2 then priority_action t ~inputs p <> None else e >= 0
+      in
+      if on then acc := p :: !acc
+    done;
+    !acc
+
   let step t ~inputs =
-    let enabled_before = enabled t ~inputs in
+    let enabled_before =
+      match t.packed with
+      | Some pk -> packed_scan t pk ~inputs
+      | None -> enabled t ~inputs
+    in
     if enabled_before = [] then
       { Model.step = t.step_no; selected = []; executed = []; neutralized = [];
         round = t.round_no; terminal = true }
@@ -110,22 +188,56 @@ module Make (A : Model.ALGO) = struct
           if not (List.mem p enabled_before) then
             invalid_arg (Printf.sprintf "daemon selected disabled process %d" p))
         selected;
-      (* all statements read the pre-step configuration *)
+      (* all statements read the pre-step configuration; on the packed path
+         the chosen action index comes from the scratch filled by the scan,
+         but the statement still runs as a closure — the true states are
+         authoritative (tables know only canonicalized cells), so packed
+         and closure runs produce identical configurations by construction *)
       let executed =
-        List.filter_map
-          (fun p ->
-            match priority_action t ~inputs p with
-            | None -> None
-            | Some i ->
-              let ctx = ctx_for t ~inputs p in
-              Some (p, t.actions.(i).Model.label, t.actions.(i).Model.apply ctx))
-          selected
+        match t.packed with
+        | Some _ ->
+          List.filter_map
+            (fun p ->
+              let i = t.pk_act.(p) in
+              if i < 0 then None
+              else
+                let ctx = ctx_for t ~inputs p in
+                Some (p, i, t.actions.(i).Model.apply ctx))
+            selected
+        | None ->
+          List.filter_map
+            (fun p ->
+              match priority_action t ~inputs p with
+              | None -> None
+              | Some i ->
+                let ctx = ctx_for t ~inputs p in
+                Some (p, i, t.actions.(i).Model.apply ctx))
+            selected
       in
       let next = Array.copy t.states in
       List.iter (fun (p, _, s) -> next.(p) <- s) executed;
       t.states <- next;
-      let executed = List.map (fun (p, l, _) -> (p, l)) executed in
-      let enabled_after = enabled t ~inputs in
+      (* mirror update: table hits copy the packed successor id (sound
+         because canon(apply(s)) = canon(apply(canon(s))) under the
+         System.S contract); closure fallbacks intern the new state *)
+      (match t.packed with
+       | None -> ()
+       | Some pk -> (
+         match
+           List.iter
+             (fun (p, _, s) ->
+               if t.pk_succ.(p) >= 0 then t.ids.(p) <- t.pk_succ.(p)
+               else t.ids.(p) <- pk.Model.pk_intern p s)
+             executed
+         with
+         | () -> ()
+         | exception Failure _ -> t.packed <- None));
+      let executed = List.map (fun (p, i, _) -> (p, t.actions.(i).Model.label)) executed in
+      let enabled_after =
+        match t.packed with
+        | Some pk -> packed_enabled t pk ~inputs
+        | None -> enabled t ~inputs
+      in
       let did_execute p = List.mem_assoc p executed in
       let neutralized =
         List.filter
@@ -184,6 +296,7 @@ module Make (A : Model.ALGO) = struct
         t.cont_enabled.(p) <- 0)
       victims;
     t.states <- next;
+    reintern t victims;
     (* a fault may disable pending processes without a step; restart the
        round measurement from the corrupted configuration *)
     t.round_pending <- None

@@ -13,10 +13,22 @@ module Make (A : Model.ALGO) : sig
     ?seed:int ->
     ?check_locality:bool ->
     ?init:[ `Canonical | `Random | `States of A.state array ] ->
+    ?packed:A.state Model.packed ->
     daemon:Daemon.t ->
     Snapcc_hypergraph.Hypergraph.t ->
     t
-  (** [check_locality] (default [false]) makes every state read performed by
+  (** [packed] (see {!Model.packed}, produced by [Snapcc_mc.Packed])
+      enables the table-driven fast path: guard scans become packed-entry
+      lookups keyed by a dense-id mirror of the configuration, with
+      successor ids written straight from the tables.  Statements still
+      execute as closures against the true states, so a packed run is
+      {e trace-identical} to the closure run of the same seed — same
+      enabled sets, same daemon draws, same reports (asserted by the parity
+      test suite).  Processes without a stored table fall back to the
+      closure scan cell by cell, and the whole fast path degrades to
+      closures if the interner ever overflows (never silently wrong).
+
+      [check_locality] (default [false]) makes every state read performed by
       a guard or statement of process [p] assert (raising [Failure]) that
       the target is [p] or a neighbor of [p] — a dynamic check that the
       algorithm respects the locally-shared-variable model.  It only sees
@@ -28,6 +40,10 @@ module Make (A : Model.ALGO) : sig
       guard rail inside long simulations, and the static pass as the CI
       gate.  [`Random] draws each process state with [A.random_init]
       (arbitrary initial configuration of §2.5). *)
+
+  val engine_kind : t -> [ `Packed | `Closure ]
+  (** The path currently in effect — [`Closure] when no tables were given
+      or after an interner overflow dropped the fast path. *)
 
   val hypergraph : t -> Snapcc_hypergraph.Hypergraph.t
   val states : t -> A.state array

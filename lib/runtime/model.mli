@@ -69,6 +69,38 @@ module type ALGO = sig
     Snapcc_hypergraph.Hypergraph.t -> state array -> int -> Obs.t
 end
 
+(** Hooks of the packed-configuration fast path (engine-agnostic closures,
+    produced by [Snapcc_mc.Packed] — this library cannot see the checker).
+    A packed configuration is the vector of dense per-process state ids of
+    the interned declared domains; [pk_entry] looks a (mode, process,
+    configuration) up in the exact guard/footprint tables and returns
+    [-1] (nothing enabled), [-2] (unavailable: no stored table, or an
+    escapee id in the support — the caller must fall back to the guard
+    closures), or a packed entry whose action index and successor id
+    {!entry_act} / {!entry_succ} decode. *)
+type 'state packed = {
+  pk_entry : mode:int -> proc:int -> int array -> int;
+  pk_intern : int -> 'state -> int;
+      (** canonicalize + intern a state, assigning escapee ids beyond the
+          domain; raises [Failure] on id-headroom overflow, which consumers
+          treat as "disable the fast path for the rest of the run" *)
+  pk_support : int -> int array;
+      (** processes read by the table of [p] (ascending, includes [p]) *)
+  pk_built : int -> bool;  (** a stored table exists for the process *)
+}
+
+val entry_act : int -> int
+val entry_succ : int -> int
+(** Field accessors of a packed entry [>= 0] (the [Snapcc_mc.Tables]
+    encoding, duplicated here so the runtime needs no checker dependency —
+    pinned against drift by the packed parity tests). *)
+
+val mode_of : inputs -> int -> int
+(** The uniform input mode a process experiences under per-process inputs:
+    bit 0 = [request_in p], bit 1 = [request_out p], indexing
+    {!input_modes}.  Exact for table lookups because the algorithms only
+    consult the input predicates at [self]. *)
+
 type step_report = {
   step : int;  (** 0-based index of the step just taken *)
   selected : int list;  (** processes chosen by the daemon *)

@@ -219,7 +219,8 @@ let test_net_replays_mp () =
   let spec, sent, delivered, staleness, final = mp_reference ~seed ~steps ~bias h in
   let cfg =
     { Net.Orchestrator.algo = "cc2"; seed; init = `Canonical;
-      deliver_bias = bias; steps; plan = Faults.none; burst = None }
+      deliver_bias = bias; steps; plan = Faults.none; burst = None;
+      engine = `Closure }
   in
   let w = Workload.always_requesting h in
   let r =
@@ -242,7 +243,8 @@ let test_unknown_algo_rejected () =
   let h = Families.by_name "ring4" in
   let cfg =
     { Net.Orchestrator.algo = "dining"; seed = 1; init = `Canonical;
-      deliver_bias = 0.5; steps = 10; plan = Faults.none; burst = None }
+      deliver_bias = 0.5; steps = 10; plan = Faults.none; burst = None;
+      engine = `Closure }
   in
   match
     Net.Orchestrator.run ~mode:Net.Spawn.Fork
@@ -265,7 +267,7 @@ let soak_run () =
   in
   let cfg =
     { Net.Orchestrator.algo = "cc1"; seed = 11; init = `Canonical;
-      deliver_bias = 0.5; steps = 1_500; plan; burst = Some 750 }
+      deliver_bias = 0.5; steps = 1_500; plan; burst = Some 750; engine = `Closure }
   in
   let r =
     match
