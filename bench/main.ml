@@ -100,6 +100,25 @@ let run_mc_bench () =
     "table-driven: build %.2fs  explore %.2fs  states/s %.0f  (x%.2f vs \
      closures)@.@."
     build_s dt_tables states_per_s_tables (dt /. dt_tables);
+  (* the same exploration once more, quotiented by the statically admitted
+     symmetry group (the vring counter gauge, Z_{n+1}): one stored
+     configuration per orbit, same verdicts *)
+  let module Sym = Snapcc_statics.Symmetry.Make (S) in
+  let so = Sym.run h ~tables:tb in
+  let sym_order = Snapcc_mc.Symmetry.order so.Snapcc_statics.Symmetry.group in
+  let t0 = Unix.gettimeofday () in
+  let rs = Ex.explore ~tables:tb ~symmetry:so.Snapcc_statics.Symmetry.group h in
+  let dt_sym = Unix.gettimeofday () -. t0 in
+  let states_per_s_sym = float_of_int (Ex.n_configs rs) /. dt_sym in
+  let orbit_reduction =
+    float_of_int (Ex.n_configs r) /. float_of_int (max 1 (Ex.n_configs rs))
+  in
+  assert (Ex.complete rs);
+  assert (Ex.violations rs = Ex.violations r);
+  Format.printf
+    "symmetry: admitted group order %d  orbits %d  (x%.2f fewer states)  \
+     explore %.2fs  states/s %.0f@.@."
+    sym_order (Ex.n_configs rs) orbit_reduction dt_sym states_per_s_sym;
   Json.Obj
     [ ("algo", Json.String "cc1"); ("token", Json.String "vring");
       ("topo", Json.String topo);
@@ -112,6 +131,11 @@ let run_mc_bench () =
       ("wall_s_tables", Json.Float dt_tables);
       ("states_per_s_tables", Json.Float states_per_s_tables);
       ("tables_speedup", Json.Float (dt /. dt_tables));
+      ("symmetry_order", Json.Int sym_order);
+      ("orbits", Json.Int (Ex.n_configs rs));
+      ("orbit_reduction", Json.Float orbit_reduction);
+      ("wall_s_sym", Json.Float dt_sym);
+      ("states_per_s_sym", Json.Float states_per_s_sym);
       ("peak_resident_states", Json.Int (Ex.n_configs r));
       ("heap_mb", Json.Float heap_mb) ]
 

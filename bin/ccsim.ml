@@ -25,13 +25,8 @@ open Cmdliner
 
 (* ---- shared arguments ---- *)
 
-let topology_arg =
-  let doc =
-    "Topology: fig1|fig2|fig3|fig4, ring<n>, path<n>, star<n>, clique<n>, \
-     single<k>, one of the named families (see `ccsim list'), or a path to \
-     a committee file (see lib/hypergraph/hypergraph_io.mli for the format)."
-  in
-  Arg.(value & opt string "fig1" & info [ "t"; "topology" ] ~docv:"TOPO" ~doc)
+(* [topology_arg] is defined below [resolve_topo] — every command's
+   topology option goes through the one shared converter. *)
 
 (* Shared validating converters: every numeric option goes through one of
    these so `ccsim sim --steps -3' and friends fail at parse time with a
@@ -191,6 +186,45 @@ let or_die = function
     Format.eprintf "ccsim: %s@." msg;
     exit 2
 
+(* ---- shared topology resolution ----
+
+   Every command resolves topologies through here: a bare name is a full
+   topology ("fig1", "ring6", a committee file path); with [?n] the family
+   stem is sized first ([--family triangle -n 3] tries "triangle3" before
+   "triangle").  run/mp/net/bounds take the parse-time [topo_conv]; lint's
+   comma list and check's --family/-n call [resolve_topo] directly — one
+   grammar, so the commands cannot drift. *)
+let resolve_topo ?n family =
+  let sized = Option.map (fun k -> family ^ string_of_int k) n in
+  let cands = (match sized with Some s -> [ s ] | None -> []) @ [ family ] in
+  let found =
+    List.find_map
+      (fun name ->
+        match topology name with Ok h -> Some (name, h) | Error _ -> None)
+      cands
+  in
+  match found with
+  | Some v -> Ok v
+  | None -> (
+    match topology (List.hd cands) with
+    | Error e -> Error e
+    | Ok h -> Ok (List.hd cands, h))
+
+let topo_conv : (string * H.t) Arg.conv =
+  Arg.conv ~docv:"TOPO"
+    ( (fun s ->
+        match resolve_topo s with Ok v -> Ok v | Error e -> Error (`Msg e)),
+      fun ppf (name, _) -> Format.pp_print_string ppf name )
+
+let topology_arg =
+  let doc =
+    "Topology: fig1|fig2|fig3|fig4, ring<n>, path<n>, star<n>, clique<n>, \
+     single<k>, one of the named families (see `ccsim list'), or a path to \
+     a committee file (see lib/hypergraph/hypergraph_io.mli for the format)."
+  in
+  Arg.(value & opt topo_conv (or_die (resolve_topo "fig1"))
+       & info [ "t"; "topology" ] ~docv:"TOPO" ~doc)
+
 (* ---- telemetry plumbing ---- *)
 
 module Tele = Snapcc_telemetry
@@ -281,7 +315,7 @@ let emit_catapult_arg =
 
 let run_cmd topo algo_name daemon_name workload_name steps seed disc random_init
     fault_at trace timeline engine emit_trace emit_json emit_catapult =
-  let h = or_die (topology topo) in
+  let _, h = (topo : string * H.t) in
   let daemon = or_die (daemon daemon_name) in
   let workload = or_die (workload workload_name ~disc h) in
   let runner = or_die (runner algo_name) in
@@ -362,7 +396,7 @@ let run_term =
 
 let mp_cmd topo algo_name workload_name steps seed disc random_init bias engine
     emit_trace emit_json =
-  let h = or_die (topology topo) in
+  let _, h = (topo : string * H.t) in
   let workload = or_die (workload workload_name ~disc h) in
   let ring_capacity =
     if emit_json = None then 0 else (steps * ((2 * H.n h) + 8)) + 64
@@ -500,8 +534,8 @@ let net_cmd topo nprocs algo_name workload_name steps seed disc random_init
     bias faults burst soak fork engine emit_trace emit_json emit_catapult =
   let h =
     match nprocs with
-    | Some k -> or_die (topology ("ring" ^ string_of_int k))
-    | None -> or_die (topology topo)
+    | Some k -> snd (or_die (resolve_topo ~n:k "ring"))
+    | None -> snd (topo : string * H.t)
   in
   let workload = or_die (workload workload_name ~disc h) in
   let burst =
@@ -562,7 +596,7 @@ let net_term =
 (* ---- bounds ---- *)
 
 let bounds_cmd topo =
-  let h = or_die (topology topo) in
+  let _, h = (topo : string * H.t) in
   Format.printf "%a@.@." H.pp h;
   if H.m h > 18 then
     Format.printf "(%d committees: exact bounds may take a while)@." (H.m h);
@@ -654,12 +688,34 @@ let lint_report_json (r : Lint_report.t) =
       ("dead_proven", strs r.Lint_report.dead_proven);
       ("dead_unreached", strs r.Lint_report.dead_unreached) ]
 
+module Lint_sym = Snapcc_statics.Symmetry
+
+let lint_sym_json (so : Lint_sym.outcome) =
+  let open Tele.Json in
+  Obj
+    [ ("group_order", Int (Snapcc_mc.Symmetry.order so.Lint_sym.group));
+      ("generators", Int (List.length so.Lint_sym.group.Snapcc_mc.Symmetry.gens));
+      ("aut_order", Int so.Lint_sym.aut_order);
+      ("candidates", Int so.Lint_sym.candidates);
+      ("admitted", List (List.map (fun s -> String s) so.Lint_sym.admitted));
+      ("rejected",
+       List
+         (List.map
+            (fun (name, reason) ->
+              Obj [ ("name", String name); ("reason", String reason) ])
+            so.Lint_sym.rejected));
+      ("pairs", Int so.Lint_sym.pairs);
+      ("seconds", Float so.Lint_sym.seconds) ]
+
 let lint_exact_json (r : Lint_report.t) (cov : Lint_exact.coverage)
-    (unmatched : Lint_report.finding list) =
+    (unmatched : Lint_report.finding list) (sym : Lint_sym.outcome option) =
   match lint_report_json r with
   | Tele.Json.Obj fields ->
     Tele.Json.Obj
       (fields
+      @ (match sym with
+        | Some so -> [ ("symmetry", lint_sym_json so) ]
+        | None -> [])
       @ [ ("cells", Tele.Json.Int cov.Lint_exact.cells);
           ("seconds", Tele.Json.Float cov.Lint_exact.seconds);
           ("complete", Tele.Json.Bool cov.Lint_exact.complete);
@@ -678,7 +734,10 @@ let lint_exact_json (r : Lint_report.t) (cov : Lint_exact.coverage)
   | j -> j
 
 let lint_cmd topos algos seed seeds max_configs verbose emit_json exact token
-    tables_dir table_cap =
+    tables_dir table_cap symmetry orbits_dir =
+  (* the symmetry analyzer proves against the exact tables, so --symmetry
+     implies the exact tier *)
+  let exact = exact || symmetry in
   let names s = String.split_on_char ',' s |> List.filter (fun x -> x <> "") in
   let targets =
     match algos with
@@ -699,7 +758,7 @@ let lint_cmd topos algos seed seeds max_configs verbose emit_json exact token
       | Some s -> s
       | None -> if exact then lint_exact_default_topos else lint_default_topos
     in
-    List.map (fun t -> (t, or_die (topology t))) (names s)
+    List.map (fun t -> or_die (resolve_topo t)) (names s)
   in
   (* sampled tier, always: the exact tier judges its findings below *)
   let sampled =
@@ -722,6 +781,7 @@ let lint_cmd topos algos seed seeds max_configs verbose emit_json exact token
             let (module S : Snapcc_mc.System.S) = lint_exact_sys key token in
             let module Ex = Lint_exact.Make (S) in
             let module Tb = Snapcc_mc.Tables.Make (S) in
+            let module Sym = Lint_sym.Make (S) in
             List.map
               (fun (topo, h) ->
                 let report, cov, tb =
@@ -735,7 +795,21 @@ let lint_cmd topos algos seed seeds max_configs verbose emit_json exact token
                        (Printf.sprintf "tables-%s-%s.txt" key topo)
                    in
                    Lint_artifact.save file (Tb.to_portable ~algo:S.name ~topo tb));
-                (key, topo, report, cov))
+                let sym =
+                  if not symmetry then None
+                  else begin
+                    let so = Sym.run ?cap:table_cap h ~tables:tb in
+                    (match orbits_dir with
+                     | None -> ()
+                     | Some dir ->
+                       Lint_sym.save
+                         (Filename.concat dir
+                            (Printf.sprintf "orbits-%s-%s.txt" key topo))
+                         ~algo:S.name ~topo h so);
+                    Some so
+                  end
+                in
+                (key, topo, report, cov, sym))
               topos)
           targets
       in
@@ -747,11 +821,11 @@ let lint_cmd topos algos seed seeds max_configs verbose emit_json exact token
           (fun (key, topo, (s : Lint_report.t)) ->
             match
               List.find_opt
-                (fun (k, t, _, _) -> k = key && t = topo && comparable key)
+                (fun (k, t, _, _, _) -> k = key && t = topo && comparable key)
                 exacts
             with
             | None -> s
-            | Some (_, _, e, cov) ->
+            | Some (_, _, e, cov, _) ->
               let unmatched = Lint_exact.agreement ~exact:e ~sampled:s in
               if unmatched <> [] then
                 disagreements := (key, topo, unmatched) :: !disagreements;
@@ -763,7 +837,7 @@ let lint_cmd topos algos seed seeds max_configs verbose emit_json exact token
       (sampled', exacts)
     end
   in
-  let exact_plain = List.map (fun (_, _, r, _) -> r) exact_reports in
+  let exact_plain = List.map (fun (_, _, r, _, _) -> r) exact_reports in
   let reports = sampled @ exact_plain in
   Format.printf "%a@." Table.pp (Lint_report.summary_table reports);
   List.iter
@@ -772,7 +846,7 @@ let lint_cmd topos algos seed seeds max_configs verbose emit_json exact token
         Format.printf "@.%a@." Table.pp (Lint_report.detail_table r))
     reports;
   List.iter
-    (fun (key, topo, _, cov) ->
+    (fun (key, topo, _, cov, sym) ->
       Format.printf
         "exact %s on %s: %d (cell, mode) pairs in %.2fs%s%s@." key topo
         cov.Lint_exact.cells cov.Lint_exact.seconds
@@ -781,7 +855,26 @@ let lint_cmd topos algos seed seeds max_configs verbose emit_json exact token
         (if cov.Lint_exact.tainted then ", TAINTED" else "");
       List.iter
         (fun (p, reason) -> Format.printf "  proc %d: %s@." p reason)
-        cov.Lint_exact.proc_status)
+        cov.Lint_exact.proc_status;
+      match sym with
+      | None -> ()
+      | Some (so : Lint_sym.outcome) ->
+        Format.printf
+          "symmetry %s on %s: aut group %d%s, %d candidate(s), admitted \
+           group order %d%s (%d pairs, %.2fs)@."
+          key topo so.Lint_sym.aut_order
+          (if so.Lint_sym.aut_complete then "" else "+")
+          so.Lint_sym.candidates
+          (Snapcc_mc.Symmetry.order so.Lint_sym.group)
+          (match so.Lint_sym.admitted with
+          | [] -> ""
+          | l -> Printf.sprintf " [%s]" (String.concat ", " l))
+          so.Lint_sym.pairs so.Lint_sym.seconds;
+        if verbose then
+          List.iter
+            (fun (name, reason) ->
+              Format.printf "  rejected %s: %s@." name reason)
+            so.Lint_sym.rejected)
     exact_reports;
   let lines = List.concat_map Lint_report.to_lines reports in
   if lines <> [] then begin
@@ -806,7 +899,7 @@ let lint_cmd topos algos seed seeds max_configs verbose emit_json exact token
    | Some file ->
      let exact_json =
        List.map
-         (fun (key, topo, r, cov) ->
+         (fun (key, topo, r, cov, sym) ->
            let unmatched =
              match
                List.find_opt (fun (k, t, _) -> k = key && t = topo)
@@ -815,7 +908,7 @@ let lint_cmd topos algos seed seeds max_configs verbose emit_json exact token
              | Some (_, _, u) -> u
              | None -> []
            in
-           lint_exact_json r cov unmatched)
+           lint_exact_json r cov unmatched sym)
          exact_reports
      in
      write_json file
@@ -881,11 +974,55 @@ let lint_table_cap_arg =
                  process (default 2^27); overruns are reported as skipped \
                  passes, never silently truncated.")
 
+let lint_symmetry_arg =
+  Arg.(value & flag
+       & info [ "symmetry" ]
+           ~doc:"Run the static symmetry analyzer (implies --exact): \
+                 enumerate conflict-hypergraph automorphisms, lift them \
+                 together with declared internal state symmetries to \
+                 candidate algorithm symmetries, and admit exactly those \
+                 proven to commute with every packed guard/footprint table \
+                 entry.")
+
+let lint_orbits_arg =
+  Arg.(value & opt (some dir) None
+       & info [ "orbits" ] ~docv:"DIR"
+           ~doc:"Write one snapcc-orbits v1 certificate per (algorithm, \
+                 topology) into DIR (requires --symmetry); each certificate \
+                 passes `ccsim orbits'.")
+
 let lint_term =
   Term.(
     const lint_cmd $ lint_topos_arg $ lint_algos_arg $ seed_arg $ lint_seeds_arg
     $ lint_max_configs_arg $ lint_verbose_arg $ emit_json_arg $ lint_exact_arg
-    $ lint_token_arg $ lint_tables_arg $ lint_table_cap_arg)
+    $ lint_token_arg $ lint_tables_arg $ lint_table_cap_arg
+    $ lint_symmetry_arg $ lint_orbits_arg)
+
+(* ---- orbits (certificate verifier) ---- *)
+
+let orbits_cmd files =
+  let failures =
+    List.fold_left
+      (fun acc file ->
+        match Snapcc_statics.Symmetry.verify_file file with
+        | Ok () ->
+          Format.printf "%s: OK@." file;
+          acc
+        | Error msg ->
+          Format.printf "%s: FAILED: %s@." file msg;
+          acc + 1)
+      0 files
+  in
+  if failures > 0 then begin
+    Format.printf "%d certificate(s) failed verification@." failures;
+    exit 1
+  end
+
+let orbits_files_arg =
+  Arg.(non_empty & pos_all string []
+       & info [] ~docv:"FILE" ~doc:"snapcc-orbits v1 certificate file(s).")
+
+let orbits_term = Term.(const orbits_cmd $ orbits_files_arg)
 
 (* ---- check (exhaustive model checker, lib/mc) ---- *)
 
@@ -894,16 +1031,6 @@ module Mc_explore = Snapcc_mc.Explore
 module Mc_fairness = Snapcc_mc.Fairness
 module Mc_report = Snapcc_mc.Report
 module Cex = Snapcc_mc.Counterexample
-
-(* [--family triangle -n 3] resolves "triangle3" (parametric families) and
-   falls back to the bare name (fig1, ...). *)
-let resolve_topo family n =
-  match topology (family ^ string_of_int n) with
-  | Ok h -> Ok (family ^ string_of_int n, h)
-  | Error _ -> (
-    match topology family with
-    | Ok h -> Ok (family, h)
-    | Error e -> Error e)
 
 let mc_report_json (r : Mc_report.t) =
   let open Tele.Json in
@@ -930,7 +1057,8 @@ let mc_report_json (r : Mc_report.t) =
       ("states_per_sec", Float (Mc_report.states_per_sec r)) ]
 
 let check_one ~(entry : Mc_systems.entry) ~token ~topo_name ~h ~max_states
-    ~keep_going ~sample ~seed ~cex_path ~progress ~engine ~telemetry =
+    ~keep_going ~sample ~seed ~cex_path ~progress ~engine ~symmetry ~telemetry
+    =
   let module S = (val entry.Mc_systems.make token) in
   let module Ex = Snapcc_mc.Explore.Make (S) in
   let module Tb = Snapcc_mc.Tables.Make (S) in
@@ -975,10 +1103,53 @@ let check_one ~(entry : Mc_systems.entry) ~token ~topo_name ~h ~max_states
             Tele.Hub.emit hub (Tele.Event.Mc_frontier { configs; transitions })
           | None -> ())
   in
-  let result =
-    Ex.explore ?on_progress ?tables ~max_configs:max_states ~roots
-      ~stop_on_first:(not keep_going) h
+  (* static symmetry admission: lift hypergraph automorphisms and declared
+     internal symmetries over the exact tables, then explore the quotient *)
+  let sym_group =
+    match (symmetry, tables) with
+    | `Off, _ -> None
+    | `Auto, None ->
+      Format.printf
+        "  symmetry: skipped (needs the packed engine's exact tables)@.";
+      None
+    | `Auto, Some tb ->
+      let module Sym = Snapcc_statics.Symmetry.Make (S) in
+      let so = Sym.run h ~tables:tb in
+      let open Snapcc_statics.Symmetry in
+      let ord = Snapcc_mc.Symmetry.order so.group in
+      if ord > 1 then begin
+        Format.printf
+          "  symmetry: admitted group of order %d from %d candidate(s) [%s] \
+           (%d pairs streamed, %.2fs)@."
+          ord so.candidates
+          (String.concat ", " so.admitted)
+          so.pairs so.seconds;
+        Some so.group
+      end
+      else begin
+        Format.printf
+          "  symmetry: only the trivial group admitted (%d candidate(s) \
+           rejected; exploring in full)@."
+          so.candidates;
+        if progress then
+          List.iter
+            (fun (name, reason) ->
+              Format.eprintf "    rejected %s: %s@." name reason)
+            so.rejected;
+        None
+      end
   in
+  let result =
+    Ex.explore ?on_progress ?tables ?symmetry:sym_group
+      ~max_configs:max_states ~roots ~stop_on_first:(not keep_going) h
+  in
+  (match sym_group with
+  | Some g ->
+    Format.printf
+      "  symmetry: stored %d orbit representatives (quotient of order %d)@."
+      (Ex.n_configs result)
+      (Snapcc_mc.Symmetry.order g)
+  | None -> ());
   let seconds = Sys.time () -. t0 in
   let violations = Ex.violations result in
   let verdict =
@@ -986,8 +1157,7 @@ let check_one ~(entry : Mc_systems.entry) ~token ~topo_name ~h ~max_states
       Some
         (Mc_fairness.analyze ~n:(H.n h) ~n_configs:(Ex.n_configs result)
            ~succs:(Ex.succs_inout result)
-           ~convenes:(fun src dst ->
-             Ex.meets_mask result dst land lnot (Ex.meets_mask result src) <> 0)
+           ~convenes:(Ex.convening result)
            ~enabled_mask:(Ex.enabled_inout result)
            ~committee_waiting:(Ex.committee_waiting result)
            ())
@@ -1039,7 +1209,12 @@ let check_one ~(entry : Mc_systems.entry) ~token ~topo_name ~h ~max_states
         steps
         @
         if v.Mc_explore.mode >= 0 then
-          [ (v.Mc_explore.mode, v.Mc_explore.selected) ]
+          (* under --symmetry the recorded selection is relative to the
+             canonical configuration; re-express it at the endpoint of the
+             lifted path *)
+          [ (v.Mc_explore.mode,
+             Ex.lift_selection result v.Mc_explore.source v.Mc_explore.selected)
+          ]
         else []
       in
       Some
@@ -1080,8 +1255,8 @@ let check_one ~(entry : Mc_systems.entry) ~token ~topo_name ~h ~max_states
   report
 
 let check_cmd algos family n token max_states keep_going sample seed cex_path
-    progress engine emit_json =
-  let topo_name, h = or_die (resolve_topo family n) in
+    progress engine symmetry emit_json =
+  let topo_name, h = or_die (resolve_topo ~n family) in
   (* frontier samples arrive every ~16k explored configurations, so even a
      multi-million-state run fits a small ring *)
   let telemetry, ring, finish_telemetry =
@@ -1113,7 +1288,7 @@ let check_cmd algos family n token max_states keep_going sample seed cex_path
           try
             Ok
               (check_one ~entry ~token ~topo_name ~h ~max_states ~keep_going
-                 ~sample ~seed ~cex_path ~progress ~engine ~telemetry)
+                 ~sample ~seed ~cex_path ~progress ~engine ~symmetry ~telemetry)
           with Invalid_argument msg | Failure msg -> Error msg
         in
         Format.printf "@.";
@@ -1167,8 +1342,12 @@ let check_token_arg =
        & info [ "token" ] ~docv:"TC"
            ~doc:"Token substrate: vring|tree|null.")
 
+(* 8M default: with PR 6's packed single-word configuration keys this fits
+   comfortably in memory, and it is what lets `--symmetry auto' finish
+   instances (triangle3 cc3/vring: 23.9M configurations, 5.97M orbits
+   under the admitted Z_4 counter gauge) whose full space stays capped. *)
 let max_states_arg =
-  Arg.(value & opt int 2_000_000
+  Arg.(value & opt int 8_000_000
        & info [ "max-states" ] ~docv:"N"
            ~doc:"Memory cap on stored configurations (exceeding it makes \
                  the verdict INCOMPLETE).")
@@ -1196,11 +1375,25 @@ let check_progress_arg =
   Arg.(value & flag & info [ "progress" ]
          ~doc:"Report exploration progress on stderr.")
 
+let check_symmetry_arg =
+  let sym_conv : [ `Auto | `Off ] Arg.conv =
+    Arg.enum [ ("auto", `Auto); ("off", `Off) ]
+  in
+  Arg.(value & opt sym_conv `Off
+       & info [ "symmetry" ] ~docv:"auto|off"
+           ~doc:"Quotient the exploration by the statically admitted \
+                 symmetry group (`auto'): hypergraph automorphisms and \
+                 declared internal symmetries are proven against the exact \
+                 guard tables, then only one configuration per orbit is \
+                 stored.  Verdicts and counterexamples are unchanged \
+                 (paths are lifted back to concrete runs).  Requires the \
+                 packed engine.  Default `off'.")
+
 let check_term =
   Term.(
     const check_cmd $ check_algo_arg $ family_arg $ nprocs_arg $ check_token_arg
     $ max_states_arg $ keep_going_arg $ sample_arg $ seed_arg $ cex_out_arg
-    $ check_progress_arg $ engine_arg $ emit_json_arg)
+    $ check_progress_arg $ engine_arg $ check_symmetry_arg $ emit_json_arg)
 
 (* ---- replay ---- *)
 
@@ -1333,6 +1526,13 @@ let cmds =
                0 verified (or incomplete without violation), 1 violation \
                found, 2 usage error.")
       check_term;
+    Cmd.v
+      (Cmd.info "orbits"
+         ~doc:"Verify snapcc-orbits v1 symmetry certificates (written by \
+               `ccsim lint --symmetry --orbits DIR'): structural checks on \
+               generators, transports, orbits and group closure.  Exit \
+               codes: 0 all valid, 1 any failure.")
+      orbits_term;
     Cmd.v
       (Cmd.info "replay"
          ~doc:"Re-execute a counterexample written by `ccsim check' through \

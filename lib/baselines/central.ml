@@ -211,3 +211,23 @@ let domain h p =
     [ Idle; Looking; Waiting; Done ]
 
 let canon _h _p (st : state) = { st with disc = 0 }
+
+(* Symmetry transport: [ptr] is a committee reference; the coordinator's
+   published [plan] is indexed by professor and holds committee ids. *)
+let rename h ~pi ~eperm _p (s : state) =
+  let plan =
+    if Array.length s.plan = 0 then s.plan
+    else begin
+      let plan' = Array.make (Array.length s.plan) None in
+      Array.iteri
+        (fun q a ->
+          if q < Snapcc_hypergraph.Hypergraph.n h then
+            plan'.(pi.(q)) <- Option.map (fun e -> eperm.(e)) a
+          else plan'.(q) <- a)
+        s.plan;
+      plan'
+    end
+  in
+  { s with ptr = Option.map (fun e -> eperm.(e)) s.ptr; plan }
+
+let state_symmetries _ = []

@@ -183,3 +183,14 @@ let domain h p =
     [ Idle; Looking; Waiting; Done ]
 
 let canon _h _p (st : state) = { st with disc = 0 }
+
+(* Symmetry transport: [owner]/[choice] are committee (edge) references.
+   The host of a committee is its minimum-identifier member, so structural
+   candidates are expected to fail admission on most instances — the
+   transport is still the honest one. *)
+let rename _h ~pi:_ ~eperm _p (s : state) =
+  { s with
+    owner = Option.map (fun e -> eperm.(e)) s.owner;
+    choice = Option.map (fun e -> eperm.(e)) s.choice }
+
+let state_symmetries _ = []

@@ -31,3 +31,13 @@ val domain : Snapcc_hypergraph.Hypergraph.t -> int -> state list
 
 val canon : Snapcc_hypergraph.Hypergraph.t -> int -> state -> state
 (** Pins the observability-only [disc] counter to 0. *)
+
+val rename :
+  Snapcc_hypergraph.Hypergraph.t ->
+  pi:int array -> eperm:int array -> int -> state -> state
+(** Structural symmetry transport ({!Snapcc_mc.System.S}): fork/choice
+    committee references follow the edge permutation. *)
+
+val state_symmetries :
+  Snapcc_hypergraph.Hypergraph.t -> (string * (int -> state -> state)) list
+(** No internal symmetry candidates. *)

@@ -1,0 +1,271 @@
+(* Individualization–refinement automorphism search over the bipartite
+   vertex/hyperedge incidence structure.  Identifiers are ignored on
+   purpose: structural symmetry only (see the interface). *)
+
+type perm = int array
+
+let is_permutation n (pi : perm) =
+  Array.length pi = n
+  &&
+  let seen = Array.make n false in
+  Array.for_all
+    (fun v -> v >= 0 && v < n && not seen.(v) && (seen.(v) <- true; true))
+    pi
+
+let is_automorphism h (pi : perm) =
+  let n = Hypergraph.n h in
+  is_permutation n pi
+  &&
+  let key members =
+    let img = Array.map (fun v -> pi.(v)) members in
+    Array.sort compare img;
+    Array.to_list img
+  in
+  let edge_set = Hashtbl.create 16 in
+  Array.iter
+    (fun (e : Hypergraph.edge) ->
+      Hashtbl.replace edge_set (Array.to_list e.Hypergraph.members) ())
+    (Hypergraph.edges h);
+  Array.for_all
+    (fun (e : Hypergraph.edge) ->
+      Hashtbl.mem edge_set (key e.Hypergraph.members))
+    (Hypergraph.edges h)
+
+let edge_perm h (pi : perm) =
+  let by_members = Hashtbl.create 16 in
+  Array.iter
+    (fun (e : Hypergraph.edge) ->
+      Hashtbl.replace by_members
+        (Array.to_list e.Hypergraph.members)
+        e.Hypergraph.eid)
+    (Hypergraph.edges h);
+  Array.map
+    (fun (e : Hypergraph.edge) ->
+      let img = Array.map (fun v -> pi.(v)) e.Hypergraph.members in
+      Array.sort compare img;
+      match Hashtbl.find_opt by_members (Array.to_list img) with
+      | Some eid -> eid
+      | None -> invalid_arg "Automorphism.edge_perm: not an automorphism")
+    (Hypergraph.edges h)
+
+(* --- Equitable-partition refinement ---------------------------------- *)
+
+(* Colours live on vertices and on hyperedges.  One round recolours edges
+   by (old colour, sorted member colours) and vertices by (old colour,
+   sorted incident-edge colours); rounds repeat until the number of
+   distinct colours stops growing.  Colour values are made dense through a
+   table so they compare as ints. *)
+
+type refined = { vcol : int array; ecol : int array }
+
+let dense () =
+  let tbl = Hashtbl.create 64 in
+  fun key ->
+    match Hashtbl.find_opt tbl key with
+    | Some c -> c
+    | None ->
+      let c = Hashtbl.length tbl in
+      Hashtbl.add tbl key c;
+      c
+
+let count_distinct a =
+  let s = Hashtbl.create 16 in
+  Array.iter (fun c -> Hashtbl.replace s c ()) a;
+  Hashtbl.length s
+
+(* The source and target colourings are refined {e together}, with one
+   shared dense-colour table per round, so that structurally equal cells
+   carry the same colour id on both sides — the candidate filter
+   [tgt.vcol.(w) = src.vcol.(v)] depends on it. *)
+let refine_pair h (a : refined) (b : refined) =
+  let n = Hypergraph.n h and m = Hypergraph.m h in
+  let a = { vcol = Array.copy a.vcol; ecol = Array.copy a.ecol }
+  and b = { vcol = Array.copy b.vcol; ecol = Array.copy b.ecol } in
+  let stable = ref false in
+  while not !stable do
+    let before =
+      count_distinct (Array.append a.vcol b.vcol)
+      + count_distinct (Array.append a.ecol b.ecol)
+    in
+    let de = dense () in
+    let ecol_of (r : refined) e =
+      let ms = Array.map (fun v -> r.vcol.(v)) (Hypergraph.edge_members h e) in
+      Array.sort compare ms;
+      de (r.ecol.(e) :: Array.to_list ms)
+    in
+    let ea = Array.init m (ecol_of a) in
+    let eb = Array.init m (ecol_of b) in
+    let dv = dense () in
+    let vcol_of (r : refined) ecol' v =
+      let es = Array.map (fun e -> ecol'.(e)) (Hypergraph.incident h v) in
+      Array.sort compare es;
+      dv (r.vcol.(v) :: Array.to_list es)
+    in
+    let va = Array.init n (vcol_of a ea) in
+    let vb = Array.init n (vcol_of b eb) in
+    Array.blit va 0 a.vcol 0 n;
+    Array.blit vb 0 b.vcol 0 n;
+    Array.blit ea 0 a.ecol 0 m;
+    Array.blit eb 0 b.ecol 0 m;
+    stable :=
+      count_distinct (Array.append a.vcol b.vcol)
+      + count_distinct (Array.append a.ecol b.ecol)
+      = before
+  done;
+  (a, b)
+
+let initial_refinement h =
+  let n = Hypergraph.n h and m = Hypergraph.m h in
+  let blank = { vcol = Array.make n 0; ecol = Array.make m 0 } in
+  fst (refine_pair h blank blank)
+
+let histogram a =
+  let tbl = Hashtbl.create 16 in
+  Array.iter
+    (fun c ->
+      Hashtbl.replace tbl c (1 + Option.value ~default:0 (Hashtbl.find_opt tbl c)))
+    a;
+  List.sort compare (Hashtbl.fold (fun c k acc -> (c, k) :: acc) tbl [])
+
+let compatible (a : refined) (b : refined) =
+  histogram a.vcol = histogram b.vcol && histogram a.ecol = histogram b.ecol
+
+(* --- Search ----------------------------------------------------------- *)
+
+(* Two colourings are maintained: the source one with already-fixed
+   vertices individualized in fixing order, and the target one with their
+   chosen images individualized identically.  A level picks the first
+   vertex of the smallest non-singleton source cell, tries every target
+   vertex of equal colour, re-refines both sides and recurses when the
+   colour histograms still agree.  At a complete assignment the candidate
+   is checked outright — refinement is a pruning device, never trusted. *)
+
+let group ?(cap = 40320) h =
+  let n = Hypergraph.n h in
+  let base = initial_refinement h in
+  let found = ref [] and nfound = ref 0 and complete = ref true in
+  let individualize (src : refined) (tgt : refined) v w rank =
+    (* pin v (source) and w (target) with the same fresh colour, then
+       re-refine both sides together *)
+    let pin (r : refined) x =
+      let vcol = Array.copy r.vcol in
+      vcol.(x) <- n + ((rank + 1) * 1_000_003);
+      { vcol; ecol = r.ecol }
+    in
+    refine_pair h (pin src v) (pin tgt w)
+  in
+  let rec next_cell (r : refined) (pi : perm) =
+    (* first unfixed vertex in the smallest non-singleton cell *)
+    let best = ref None in
+    Array.iteri
+      (fun v _ ->
+        if pi.(v) < 0 then begin
+          let size =
+            Array.fold_left
+              (fun k c -> if c = r.vcol.(v) then k + 1 else k)
+              0 r.vcol
+          in
+          match !best with
+          | Some (_, s) when s <= size -> ()
+          | _ -> best := Some (v, size)
+        end)
+      r.vcol;
+    !best |> Option.map fst
+  and search rank (src : refined) (tgt : refined) (pi : perm) used =
+    if !nfound >= cap then complete := false
+    else
+      match next_cell src pi with
+      | None ->
+        if is_automorphism h pi then begin
+          found := Array.copy pi :: !found;
+          incr nfound
+        end
+      | Some v ->
+        for w = 0 to n - 1 do
+          if (not used.(w)) && tgt.vcol.(w) = src.vcol.(v) && !nfound < cap
+          then begin
+            let src', tgt' = individualize src tgt v w rank in
+            if compatible src' tgt' then begin
+              pi.(v) <- w;
+              used.(w) <- true;
+              search (rank + 1) src' tgt' pi used;
+              pi.(v) <- -1;
+              used.(w) <- false
+            end
+          end
+        done
+  in
+  search 0 base base (Array.make n (-1)) (Array.make n false);
+  (List.rev !found, !complete)
+
+let closure ?(cap = 40320) ~n perms =
+  let tbl = Hashtbl.create 64 in
+  let queue = Queue.create () in
+  let idp = Array.init n (fun v -> v) in
+  let add p =
+    let key = Array.to_list p in
+    if not (Hashtbl.mem tbl key) then begin
+      Hashtbl.add tbl key p;
+      Queue.add p queue
+    end
+  in
+  add idp;
+  List.iter (fun p -> if is_permutation n p then add p) perms;
+  let complete = ref true in
+  (try
+     while not (Queue.is_empty queue) do
+       let p = Queue.pop queue in
+       List.iter
+         (fun g ->
+           if Hashtbl.length tbl >= cap then raise Exit;
+           add (Array.init n (fun v -> g.(p.(v)))))
+         perms
+     done
+   with Exit -> complete := false);
+  (Hashtbl.fold (fun _ p acc -> p :: acc) tbl [], !complete)
+
+let generators ~n perms =
+  let non_id = List.filter (fun p -> p <> Array.init n (fun v -> v)) perms in
+  let gens = ref [] in
+  let known = Hashtbl.create 64 in
+  let reclose () =
+    Hashtbl.reset known;
+    let elems, _ = closure ~cap:(max 2 (2 * List.length perms)) ~n !gens in
+    List.iter (fun p -> Hashtbl.replace known (Array.to_list p) ()) elems
+  in
+  reclose ();
+  List.iter
+    (fun p ->
+      if not (Hashtbl.mem known (Array.to_list p)) then begin
+        gens := p :: !gens;
+        reclose ()
+      end)
+    non_id;
+  List.rev !gens
+
+let orbits ~n perms =
+  let parent = Array.init n (fun v -> v) in
+  let rec find v = if parent.(v) = v then v else find parent.(v) in
+  let union a b =
+    let ra = find a and rb = find b in
+    if ra <> rb then parent.(max ra rb) <- min ra rb
+  in
+  List.iter
+    (fun (p : perm) -> Array.iteri (fun v w -> union v w) p)
+    perms;
+  Array.init n (fun v -> find v)
+
+let edge_orbits h perms =
+  let m = Hypergraph.m h in
+  let parent = Array.init m (fun e -> e) in
+  let rec find e = if parent.(e) = e then e else find parent.(e) in
+  let union a b =
+    let ra = find a and rb = find b in
+    if ra <> rb then parent.(max ra rb) <- min ra rb
+  in
+  List.iter
+    (fun p ->
+      let ep = edge_perm h p in
+      Array.iteri (fun e e' -> union e e') ep)
+    perms;
+  Array.init m (fun e -> find e)

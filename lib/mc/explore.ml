@@ -37,10 +37,15 @@ module Make (Sys : System.S) = struct
     par : int Vec.t;  (** per cid: parent cid, [-1] for roots *)
     par_mode : int Vec.t;
     par_sel : int Vec.t;
-    edges : int Vec.t;  (** in+out words: [(dst lsl n) lor selmask] *)
+    edges : int Vec.t;
+        (** in+out words: [(((dst lsl 1) lor conv) lsl n) lor selmask],
+            [conv] = the {e raw} transition convened a meeting *)
     estart : int Vec.t;  (** per processed cid: offset into [edges] *)
     counts : int array;
     labels : string array;
+    grp : Symmetry.group option;  (** quotient mode, when order > 1 *)
+    raw_step : int array -> int -> int -> int array;
+        (** raw successor ids of (config ids, mode, selmask) *)
     mutable transitions : int;
     mutable viols : violation list;
     mutable complete_ : bool;
@@ -88,20 +93,88 @@ module Make (Sys : System.S) = struct
       in
       List.init (hi - lo) (fun i ->
           let w = Vec.get r.edges (lo + i) in
-          (w lsr n, w land ((1 lsl n) - 1)))
+          (w lsr (n + 1), w land ((1 lsl n) - 1)))
     end
 
-  let path_to r cid =
+  let convening r src dst =
+    let n = Enc.n r.enc in
+    if src >= Vec.length r.estart then
+      meets_mask r dst land lnot (meets_mask r src) <> 0
+    else begin
+      let lo = Vec.get r.estart src in
+      let hi =
+        if src + 1 < Vec.length r.estart then Vec.get r.estart (src + 1)
+        else Vec.length r.edges
+      in
+      let found = ref false and all = ref true in
+      for i = lo to hi - 1 do
+        let w = Vec.get r.edges i in
+        if w lsr (n + 1) = dst then begin
+          found := true;
+          if (w lsr n) land 1 = 0 then all := false
+        end
+      done;
+      if !found then !all
+      else meets_mask r dst land lnot (meets_mask r src) <> 0
+    end
+
+  let symmetry_order r =
+    match r.grp with None -> 1 | Some g -> Symmetry.order g
+
+  let quotient_path r cid =
     let rec up cid acc =
       let p = Vec.get r.par cid in
-      if p < 0 then (config_ids r cid, acc)
-      else
-        up p ((Vec.get r.par_mode cid, bits_list (Vec.get r.par_sel cid)) :: acc)
+      if p < 0 then (cid, acc) else up p ((cid, p) :: acc)
     in
     up cid []
 
+  (* Lift the stored quotient path to a concrete one, maintaining the
+     accumulated element [hp] with concrete_i = hp · canonical_i: the
+     stored (mode, sel) of each step is relative to the canonical parent,
+     so the concrete selection is [hp.pi(sel)]; the canonicalizing witness
+     [w] of the recomputed raw successor updates [hp ← hp ∘ w⁻¹]. *)
+  let lifted r cid =
+    let root, chain = quotient_path r cid in
+    let root_ids = config_ids r root in
+    match r.grp with
+    | None -> (root_ids, List.map (fun (c, _) -> (Vec.get r.par_mode c, bits_list (Vec.get r.par_sel c))) chain, None)
+    | Some grp ->
+        let hp = ref grp.Symmetry.elems.(0) in
+        let steps =
+          List.map
+            (fun (child, parent) ->
+              let mode = Vec.get r.par_mode child
+              and sel = Vec.get r.par_sel child in
+              let raw = r.raw_step (config_ids r parent) mode sel in
+              let w =
+                if Symmetry.in_domain grp raw then
+                  let _, gi = Symmetry.canonical grp raw in
+                  grp.Symmetry.elems.(gi)
+                else grp.Symmetry.elems.(0)
+              in
+              let csel = ref 0 in
+              let pi = (!hp).Symmetry.pi in
+              for p = 0 to Array.length pi - 1 do
+                if sel land (1 lsl p) <> 0 then
+                  csel := !csel lor (1 lsl pi.(p))
+              done;
+              hp := Symmetry.compose !hp (Symmetry.invert w);
+              (mode, bits_list !csel))
+            chain
+        in
+        (root_ids, steps, Some !hp)
+
+  let path_to r cid =
+    let root, steps, _ = lifted r cid in
+    (root, steps)
+
+  let lift_selection r cid sel =
+    match lifted r cid with
+    | _, _, None -> sel
+    | _, _, Some hp -> List.sort compare (List.map (fun p -> hp.Symmetry.pi.(p)) sel)
+
   let explore ?(max_configs = 1_500_000) ?(roots = `Domain)
-      ?(stop_on_first = false) ?on_progress ?tables h =
+      ?(stop_on_first = false) ?on_progress ?tables ?symmetry h =
     let n = H.n h and m = H.m h in
     if n > 16 then failwith "Mc.Explore: more than 16 processes unsupported";
     if m > 62 then failwith "Mc.Explore: more than 62 committees unsupported";
@@ -110,6 +183,45 @@ module Make (Sys : System.S) = struct
     let enc = match tables with Some tb -> Tb.enc tb | None -> Enc.create h in
     let actions = Array.of_list (Sys.actions h) in
     let nact = Array.length actions in
+    let grp =
+      match symmetry with
+      | Some g when Symmetry.order g > 1 && g.Symmetry.complete ->
+          Array.iteri
+            (fun p s ->
+              if Array.length s <> Enc.domain_count enc p then
+                failwith "Mc.Explore: symmetry group domains do not match")
+            g.Symmetry.elems.(0).Symmetry.sigma;
+          Some g
+      | _ -> None
+    in
+    let raw_step cfg mode selmask =
+      let sts = Array.mapi (fun p id -> Enc.state enc p id) cfg in
+      let read p = sts.(p) in
+      let inputs = mode_inputs.(mode) in
+      let out = Array.copy cfg in
+      for p = 0 to n - 1 do
+        if selmask land (1 lsl p) <> 0 then begin
+          let e =
+            match tables with
+            | Some tb -> Tb.entry tb ~mode ~proc:p cfg
+            | None -> -2
+          in
+          if e >= 0 then out.(p) <- Tables.entry_succ e
+          else if e = -2 then begin
+            let ctx = { Model.h; inputs; read; self = p } in
+            let rec scan i =
+              if i < 0 then -1
+              else if actions.(i).Model.guard ctx then i
+              else scan (i - 1)
+            in
+            let i = scan (nact - 1) in
+            if i >= 0 then
+              out.(p) <- Enc.intern enc p (actions.(i).Model.apply ctx)
+          end
+        end
+      done;
+      out
+    in
     let r =
       { h; enc;
         configs = Vec.create ();
@@ -123,6 +235,8 @@ module Make (Sys : System.S) = struct
         estart = Vec.create ();
         counts = Array.make nact 0;
         labels = Array.map (fun (a : _ Model.action) -> a.Model.label) actions;
+        grp;
+        raw_step;
         transitions = 0;
         viols = [];
         complete_ = false }
@@ -221,6 +335,10 @@ module Make (Sys : System.S) = struct
     let scratch = Array.make n 0 in
     let succ_ids = Array.make n 0 in
     let act_idx = Array.make n (-1) in
+    let obs_of_ids ids =
+      let sts = Array.mapi (fun p id -> Enc.state enc p id) ids in
+      Array.init n (fun p -> Sys.observe h sts p)
+    in
     let processed = ref 0 in
     let process cid =
       assert (Vec.length r.estart = cid);
@@ -274,7 +392,20 @@ module Make (Sys : System.S) = struct
               for p = 0 to n - 1 do
                 if s land (1 lsl p) <> 0 then scratch.(p) <- succ_ids.(p)
               done;
-              (match discover ~parent:(cid, mode, s) scratch with
+              (* quotient mode: store the lex-least orbit representative,
+                 but judge the RAW transition — the witness's inverse edge
+                 permutation pulls the canonical meets mask back to the raw
+                 successor's.  Escapee configurations bypass
+                 canonicalization (their transport is undefined) and are
+                 explored concretely, exactly as without symmetry. *)
+              let target, gi =
+                match grp with
+                | Some g when Symmetry.in_domain g scratch ->
+                    let rep, gi = Symmetry.canonical g scratch in
+                    (rep, gi)
+                | _ -> (scratch, 0)
+              in
+              (match discover ~parent:(cid, mode, s) target with
               | None -> ()
               | Some dst ->
                 r.transitions <- r.transitions + 1;
@@ -282,14 +413,26 @@ module Make (Sys : System.S) = struct
                   if s land (1 lsl p) <> 0 then
                     r.counts.(act_idx.(p)) <- r.counts.(act_idx.(p)) + 1
                 done;
-                if mode = inout_mode then
-                  Vec.push r.edges ((dst lsl n) lor s);
-                let am = Vec.get r.meets dst in
+                let am =
+                  match grp with
+                  | Some g when gi <> 0 ->
+                      Symmetry.inverse_map_mask
+                        g.Symmetry.elems.(gi).Symmetry.eperm
+                        (Vec.get r.meets dst)
+                  | _ -> Vec.get r.meets dst
+                in
+                if mode = inout_mode then begin
+                  let conv = if am land lnot bm <> 0 then 1 else 0 in
+                  Vec.push r.edges ((((dst lsl 1) lor conv) lsl n) lor s)
+                end;
                 if am <> bm then begin
                   (* a meeting convened or broke up: judge the transition
                      with the runtime monitor, before as initial (§2.5) *)
                   let before = Lazy.force before_obs in
-                  let after = obs_of_config r dst in
+                  let after =
+                    if gi <> 0 then obs_of_ids scratch
+                    else obs_of_config r dst
+                  in
                   let spec = Spec.create h ~initial:before in
                   Spec.on_step spec ~step:0
                     ~request_out:inputs.Model.request_out ~before ~after;
@@ -328,7 +471,20 @@ module Make (Sys : System.S) = struct
         | None -> (
           match next_root () with
           | Some cfg ->
-            ignore (discover ~parent:(-1, -1, 0) cfg);
+            (match (grp, roots) with
+            | Some g, `Domain ->
+              (* the root odometer streams every orbit's lex-least member
+                 itself, so non-canonical roots are skipped outright *)
+              let rep, _ = Symmetry.canonical g cfg in
+              if rep = cfg then ignore (discover ~parent:(-1, -1, 0) cfg)
+            | Some g, `States _ ->
+              let cfg =
+                if Symmetry.in_domain g cfg then
+                  fst (Symmetry.canonical g cfg)
+                else cfg
+              in
+              ignore (discover ~parent:(-1, -1, 0) cfg)
+            | None, _ -> ignore (discover ~parent:(-1, -1, 0) cfg));
             loop ()
           | None -> r.complete_ <- true)
     in

@@ -43,6 +43,7 @@ module Make (Sys : System.S) : sig
     ?stop_on_first:bool ->
     ?on_progress:(configs:int -> transitions:int -> unit) ->
     ?tables:Tables.Make(Sys).t ->
+    ?symmetry:Symmetry.group ->
     Snapcc_hypergraph.Hypergraph.t ->
     result
   (** [explore h] runs to exhaustion of the domain product ([`Domain], the
@@ -57,7 +58,18 @@ module Make (Sys : System.S) : sig
       {!Tables.Make.entry} lookup, falling back to the guard closures only
       where no entry is stored.  The tables' interner is adopted wholesale,
       so results are bit-for-bit the ones the closure path computes (modulo
-      escapee interning order). *)
+      escapee interning order).
+
+      [symmetry] (an {e admitted} group from the static analyzer,
+      [Snapcc_statics.Symmetry]) switches to quotient exploration: only
+      the lexicographically least representative of each orbit is stored,
+      shrinking the state count by up to the group order.  Soundness rests
+      on the admission proof — every element commutes with the step
+      function and preserves the meeting observations — so safety is still
+      judged on the {e raw} (pre-canonicalization) transitions, escapee
+      configurations bypass canonicalization entirely, and {!path_to}
+      transparently lifts quotient paths back to concrete replayable runs.
+      A group with [complete = false] or order 1 is ignored. *)
 
   (** {2 Outcome} *)
 
@@ -94,7 +106,19 @@ module Make (Sys : System.S) : sig
   val path_to : result -> int -> int array * (int * int list) list
   (** [(root, steps)]: a shortest path from a root configuration (given as
       its per-process state ids) to the configuration, each step a
-      (mode, selected processes) pair. *)
+      (mode, selected processes) pair.  Under [?symmetry] the returned
+      path is {e lifted}: root and selections are concrete (the engine
+      replays them verbatim), and it ends in a configuration of the
+      target's orbit — {!lift_selection} maps a selection made at the
+      canonical configuration onto that endpoint. *)
+
+  val lift_selection : result -> int -> int list -> int list
+  (** [lift_selection r cid sel] re-expresses a daemon selection valid at
+      canonical configuration [cid] at the endpoint of [path_to r cid]
+      (the identity without [?symmetry]). *)
+
+  val symmetry_order : result -> int
+  (** Order of the group the exploration was quotiented by (1 = none). *)
 
   (** {2 The in+out transition graph (progress analysis)} *)
 
@@ -103,6 +127,13 @@ module Make (Sys : System.S) : sig
 
   val succs_inout : result -> int -> (int * int) list
   (** [(destination, selected-mask)] transitions under in+out. *)
+
+  val convening : result -> int -> int -> bool
+  (** Whether the transitions recorded from [src] to [dst] convened a
+      meeting — judged on the {e raw} transitions, which under
+      [?symmetry] may differ from comparing the two canonical meets
+      masks.  [false] as soon as one recorded raw transition convenes
+      nothing (the conservative direction for livelock detection). *)
 
   val meets_mask : result -> int -> int
   (** Bitmask of committees meeting in the configuration. *)

@@ -3,4 +3,18 @@ module type S = sig
 
   val domain : Snapcc_hypergraph.Hypergraph.t -> int -> state list
   val canon : Snapcc_hypergraph.Hypergraph.t -> int -> state -> state
+
+  val rename :
+    Snapcc_hypergraph.Hypergraph.t ->
+    pi:int array -> eperm:int array -> int -> state -> state
+  (** Structural transport: the state of process [p] re-expressed as a
+      state of process [pi.(p)], with committee references mapped through
+      the induced edge permutation [eperm] and vertex references through
+      [pi].  Proposes symmetry candidates only — admission is decided by
+      exact table commutation, so a best-effort transport is sound. *)
+
+  val state_symmetries :
+    Snapcc_hypergraph.Hypergraph.t -> (string * (int -> state -> state)) list
+  (** Named internal symmetry candidates (identity vertex permutation,
+      per-process state bijection), e.g. a token layer's counter gauge. *)
 end

@@ -26,4 +26,21 @@ module type S = sig
   (** Quotient a state onto the finite domain ([p]'s counters reset /
       normalized).  Must be the identity on guards and statements:
       behaviourally equal states map to the same representative. *)
+
+  val rename :
+    Snapcc_hypergraph.Hypergraph.t ->
+    pi:int array -> eperm:int array -> int -> state -> state
+  (** Structural transport: the state of process [p] re-expressed as a
+      state of process [pi.(p)], with committee references mapped through
+      the induced edge permutation [eperm] and vertex references through
+      [pi].  This only {e proposes} symmetry candidates — admission is
+      decided by the exact table-commutation pass
+      ([Snapcc_statics.Symmetry]), so a best-effort transport is sound. *)
+
+  val state_symmetries :
+    Snapcc_hypergraph.Hypergraph.t -> (string * (int -> state -> state)) list
+  (** Named internal symmetry candidates (identity vertex permutation,
+      per-process state bijections on {!domain}), e.g. the vring token
+      layer's Dijkstra counter gauge [v ↦ v+1 mod K].  Also admitted only
+      through table commutation. *)
 end

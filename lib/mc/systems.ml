@@ -32,6 +32,15 @@ module Cc1_sys (T : Layer.S) (M : Cc1.S with type token_state = T.state) :
       (T.domain h p)
 
   let canon _h _p ((c : Cc1.cc), t) = ({ c with Cc1.disc = 0 }, t)
+
+  let rename h ~pi ~eperm p ((c : Cc1.cc), t) =
+    ( { c with Cc1.ptr = Option.map (fun e -> eperm.(e)) c.Cc1.ptr },
+      T.rename h ~pi p t )
+
+  let state_symmetries h =
+    List.map
+      (fun (name, f) -> (name, fun p ((c : Cc1.cc), t) -> (c, f p t)))
+      (T.state_symmetries h)
 end
 
 (* CC2/CC3's committee layer: statuses have no [Idle]; [cur] is read only
@@ -78,6 +87,29 @@ module Cc23_sys
       if C.cursor then ((c.Cc23.cur mod deg) + deg) mod deg else 0
     in
     ({ c with Cc23.cur; disc = 0 }, t)
+
+  let rename h ~pi ~eperm p ((c : Cc23.cc), t) =
+    let cur =
+      if not C.cursor then 0
+      else begin
+        (* [cur] names incident(p).(cur mod deg) — follow that committee
+           through [eperm] and recover its rank at the image process *)
+        let deg = H.degree h p in
+        let e' = eperm.((H.incident h p).(((c.Cc23.cur mod deg) + deg) mod deg)) in
+        let rank = ref 0 in
+        Array.iteri
+          (fun i e -> if e = e' then rank := i)
+          (H.incident h pi.(p));
+        !rank
+      end
+    in
+    ( { c with Cc23.ptr = Option.map (fun e -> eperm.(e)) c.Cc23.ptr; cur },
+      T.rename h ~pi p t )
+
+  let state_symmetries h =
+    List.map
+      (fun (name, f) -> (name, fun p ((c : Cc23.cc), t) -> (c, f p t)))
+      (T.state_symmetries h)
 end
 
 (* The §6 baselines already expose [domain]/[canon]; re-package them as

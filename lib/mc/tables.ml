@@ -440,6 +440,184 @@ module Make (Sys : System.S) = struct
       cells = !cells; streamed;
       seconds = Stdlib.Sys.time () -. t0; tainted = !tainted }
 
+  (* Streaming re-enumeration of one process's pass, for consumers that
+     need every (cell, mode, entry) triple regardless of whether the
+     entries were stored (the symmetry admission pass).  Stored tables are
+     decoded by lookup; streamed/skipped passes re-run the backwards scan
+     (no verify instrumentation).  [init] is invoked at every (re)start —
+     a [Need] support extension discards the partial stream — so the
+     consumer must reset its accumulators there. *)
+  let enumerate ?(cap = 1 lsl 27) t ~proc:p ~init ~cell:emit =
+    let h = t.h in
+    let n = H.n h in
+    let enc = t.enc in
+    let actions = Array.of_list (Sys.actions h) in
+    let nact = Array.length actions in
+    let stored =
+      match t.tables.(p) with Ok tb -> Some tb | Error _ -> None
+    in
+    let rec attempt support_mask =
+      let support =
+        match stored with
+        | Some tb -> tb.support
+        | None -> Array.of_list (bits_of_mask support_mask)
+      in
+      let k = Array.length support in
+      let sizes = Array.map (fun q -> Enc.domain_count enc q) support in
+      let fcells =
+        Array.fold_left (fun a s -> a *. float_of_int s) 1.0 sizes
+      in
+      if fcells *. float_of_int nmodes > float_of_int cap then false
+      else begin
+        init ~support ~sizes;
+        let ids = Array.make k 0 in
+        let idx_p = ref 0 in
+        Array.iteri (fun j q -> if q = p then idx_p := j) support;
+        let idx_p = !idx_p in
+        match stored with
+        | Some tb ->
+          (* decode: the cell counter is the row-major index *)
+          let ncells = int_of_float fcells in
+          for c = 0 to ncells - 1 do
+            for mode = 0 to nmodes - 1 do
+              emit ~mode ~ids ~entry:tb.entries.(mode).(c)
+            done;
+            let rec adv j =
+              if j >= 0 then begin
+                ids.(j) <- ids.(j) + 1;
+                if ids.(j) >= sizes.(j) then begin
+                  ids.(j) <- 0;
+                  adv (j - 1)
+                end
+              end
+            in
+            adv (k - 1)
+          done;
+          true
+        | None ->
+          (* re-run the scan (cf. [build]'s attempt, minus verify) *)
+          let dom_states =
+            Array.init n (fun q ->
+                Array.init (Enc.domain_count enc q) (Enc.state enc q))
+          in
+          let sts = Array.init n (fun q -> dom_states.(q).(0)) in
+          Array.iteri (fun j q -> sts.(q) <- dom_states.(q).(ids.(j))) support;
+          let reads = ref 0 in
+          let input_read = ref false in
+          let read q =
+            if support_mask land (1 lsl q) = 0 then raise (Need q);
+            reads := !reads lor (1 lsl q);
+            sts.(q)
+          in
+          let ctxs =
+            Array.map
+              (fun (_, (base : Model.inputs)) ->
+                { Model.h;
+                  inputs =
+                    { Model.request_in =
+                        (fun q ->
+                          input_read := true;
+                          base.Model.request_in q);
+                      request_out =
+                        (fun q ->
+                          input_read := true;
+                          base.Model.request_out q) };
+                  read;
+                  self = p })
+              Model.input_modes
+          in
+          let g_val = Array.make nact false in
+          let g_reads = Array.make nact 0 in
+          let g_input = Array.make nact false in
+          let a_succ = Array.make nact min_int in
+          let a_reads = Array.make nact 0 in
+          let a_input = Array.make nact false in
+          let eval_guard mode i =
+            reads := 0;
+            input_read := false;
+            let g =
+              match actions.(i).Model.guard ctxs.(mode) with
+              | g -> g
+              | exception (Need _ as e) -> raise e
+              | exception _ -> false
+            in
+            g_val.(i) <- g;
+            g_reads.(i) <- !reads;
+            g_input.(i) <- !input_read
+          in
+          let eval_apply mode i =
+            reads := 0;
+            input_read := false;
+            (match actions.(i).Model.apply ctxs.(mode) with
+            | exception (Need _ as e) -> raise e
+            | exception _ -> a_succ.(i) <- -2
+            | s1 -> a_succ.(i) <- Enc.intern enc p s1);
+            a_reads.(i) <- !reads;
+            a_input.(i) <- !input_read
+          in
+          let continue_ = ref true in
+          while !continue_ do
+            Array.fill a_succ 0 nact min_int;
+            for mode = 0 to nmodes - 1 do
+              for i = nact - 1 downto 0 do
+                if mode = 0 || g_input.(i) then eval_guard mode i
+              done;
+              let chosen =
+                let rec top i =
+                  if i < 0 then -1 else if g_val.(i) then i else top (i - 1)
+                in
+                top (nact - 1)
+              in
+              let entry =
+                if chosen < 0 then -1
+                else begin
+                  if a_succ.(chosen) = min_int || a_input.(chosen) then
+                    eval_apply mode chosen;
+                  if a_succ.(chosen) = -2 then -1
+                  else begin
+                    let rm = ref a_reads.(chosen) in
+                    for i = chosen to nact - 1 do
+                      rm := !rm lor g_reads.(i)
+                    done;
+                    pack ~act:chosen
+                      ~changes:(a_succ.(chosen) <> ids.(idx_p))
+                      ~reads:!rm ~succ:a_succ.(chosen)
+                  end
+                end
+              in
+              emit ~mode ~ids ~entry
+            done;
+            let rec adv j =
+              if j < 0 then continue_ := false
+              else begin
+                ids.(j) <- ids.(j) + 1;
+                if ids.(j) >= sizes.(j) then begin
+                  ids.(j) <- 0;
+                  sts.(support.(j)) <- dom_states.(support.(j)).(0);
+                  adv (j - 1)
+                end
+                else sts.(support.(j)) <- dom_states.(support.(j)).(ids.(j))
+              end
+            in
+            adv (k - 1)
+          done;
+          true
+      end
+    and run support_mask =
+      match attempt support_mask with
+      | done_ -> done_
+      | exception Need q -> run (support_mask lor (1 lsl q))
+      | exception Failure _ -> false
+    in
+    let base_mask =
+      Array.fold_left
+        (fun m q -> m lor (1 lsl q))
+        0
+        (if Array.length t.supports.(p) > 0 then t.supports.(p)
+         else [| p |])
+    in
+    run base_mask
+
   (* Read/write interference, exactly: for every ordered pair of neighbors
      (writer, reader) with stored tables, iterate the product over the
      union of their supports and count the cells where the writer's chosen

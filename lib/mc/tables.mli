@@ -135,6 +135,23 @@ module Make (Sys : System.S) : sig
   val seconds : t -> float
   val tainted : t -> bool
 
+  val enumerate :
+    ?cap:int ->
+    t ->
+    proc:int ->
+    init:(support:int array -> sizes:int array -> unit) ->
+    cell:(mode:int -> ids:int array -> entry:int -> unit) ->
+    bool
+  (** Stream every (cell, mode) pair of one process's pass to [cell], in
+      odometer order ([ids] is the live per-support digit vector, aligned
+      with [support] — read, don't keep).  Stored tables are decoded by
+      lookup; streamed or skipped passes re-run the backwards scan with
+      the same packing (no verify instrumentation).  [init] fires at every
+      (re)start — an on-demand support extension discards the partial
+      stream, so consumers must reset accumulators there.  Returns [false]
+      when the product exceeds [cap] (default [2^27]) or the pass failed;
+      nothing is claimed in that case. *)
+
   val interference :
     ?cap:int -> t -> (string * string * int) list
   (** [(writer, reader, cells)]: over the joint product of each ordered

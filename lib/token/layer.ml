@@ -48,6 +48,23 @@ module type S = sig
       with a huge internal state space (the tree substrate) may return a
       documented sub-domain; the checker verifies closure under transitions
       and interns — and reports — any state outside the declared domain. *)
+
+  val rename :
+    Snapcc_hypergraph.Hypergraph.t -> pi:int array -> int -> state -> state
+  (** Structural transport under the vertex permutation [pi]: the state of
+      process [p], re-expressed as a state of process [pi.(p)] (vertex
+      references mapped through [pi]).  This only {e proposes} a symmetry
+      candidate — whether the transported layer really behaves identically
+      is arbitrated later by exact table commutation
+      ([Snapcc_statics.Symmetry]), so a best-effort transport is sound. *)
+
+  val state_symmetries :
+    Snapcc_hypergraph.Hypergraph.t -> (string * (int -> state -> state)) list
+  (** Named {e internal} symmetry candidates: per-process state bijections
+      (on {!domain}) that the layer believes commute with every action even
+      under the identity vertex permutation — e.g. Dijkstra's counter gauge
+      [v ↦ v+1 mod K] on the virtual ring.  Also subject to table
+      commutation before being admitted. *)
 end
 
 (** A standalone [Model.ALGO] wrapper so a token layer can be run and tested

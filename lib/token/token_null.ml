@@ -17,3 +17,5 @@ let has_token _ ~read:_ _ = false
 let release _ ~read:_ _ = ()
 let internal_actions _ : state Model.action list = []
 let domain _ _ = [ () ]
+let rename _ ~pi:_ _ () = ()
+let state_symmetries _ = []

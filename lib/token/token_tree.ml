@@ -155,3 +155,38 @@ let random_init h rng p =
 let domain h p =
   let le = Leader.init h p in
   List.init (Array.length le.Leader.childs + 3) (fun i -> { le; pos = i - 1 })
+
+(* Structural transport: parent/children are vertex indices, [pos] in
+   [1..k] is a 1-based index into the ordered child list, [lead] is a
+   claimed leader identifier.  Whether leader election (minimum id!)
+   actually commutes with [pi] is decided by the admission pass — this
+   only needs to be the honest transport of the references. *)
+let rename h ~pi p (s : state) =
+  let le = s.le in
+  let childs = Array.map (fun c -> pi.(c)) le.Leader.childs in
+  Array.sort compare childs;
+  let lead =
+    match H.vertex_of_id h le.Leader.lead with
+    | v -> H.id h pi.(v)
+    | exception Not_found -> le.Leader.lead
+  in
+  let par =
+    if le.Leader.par >= 0 && le.Leader.par < H.n h then pi.(le.Leader.par)
+    else le.Leader.par
+  in
+  let le' = { le with Leader.lead; par; childs } in
+  let pos =
+    if s.pos >= 1 && s.pos <= Array.length le.Leader.childs then begin
+      (* the visited child moves with pi; recover its 1-based rank in the
+         re-sorted transported list *)
+      let c' = pi.(le.Leader.childs.(s.pos - 1)) in
+      let rank = ref s.pos in
+      Array.iteri (fun i x -> if x = c' then rank := i + 1) childs;
+      !rank
+    end
+    else s.pos
+  in
+  ignore p;
+  { le = le'; pos }
+
+let state_symmetries _h = []

@@ -40,3 +40,13 @@ let internal_actions _h : state Model.action list = []
 
 (* The full domain: one Dijkstra counter in [0 .. K-1]. *)
 let domain h _p = List.init (k_of h) (fun v -> { v })
+
+(* The virtual ring is index-anchored (master = process 0, fixed
+   orientation), so no vertex permutation preserves it: [rename] keeps the
+   counter and lets the admission pass reject the candidate.  What does
+   survive is Dijkstra's counter gauge: shifting every counter by one
+   (mod K) fixes all the [v_p = v_pred(p)] comparisons, hence the whole
+   layer behaviour.  It generates the cyclic group Z_K. *)
+let rename _h ~pi:_ _p (s : state) = s
+let state_symmetries h =
+  [ ("vring-shift", fun _p (s : state) -> { v = norm h (s.v + 1) }) ]

@@ -287,6 +287,80 @@ let test_amm_against_naive () =
       end)
     (Families.all_named ())
 
+(* --- automorphisms (structural symmetry) ----------------------------- *)
+
+module Auto = Snapcc_hypergraph.Automorphism
+
+let group_order h =
+  let elems, complete = Auto.group h in
+  check "search complete" true complete;
+  List.iter
+    (fun p -> check "element is an automorphism" true (Auto.is_automorphism h p))
+    elems;
+  List.length elems
+
+let test_auto_golden_orders () =
+  (* ring_n is the n-cycle: dihedral group, order 2n *)
+  check_int "ring4 order" 8 (group_order (Families.pair_ring 4));
+  check_int "ring5 order" 10 (group_order (Families.pair_ring 5));
+  check_int "ring6 order" 12 (group_order (Families.pair_ring 6));
+  (* line_n: the single end-to-end reflection *)
+  check_int "line3 order" 2 (group_order (Families.path 3));
+  check_int "line5 order" 2 (group_order (Families.path 5));
+  (* the conflict triangle is the 3-cycle: full S3 *)
+  check_int "triangle order" 6 (group_order (Families.pair_ring 3));
+  (* one committee of k professors: all k! permutations *)
+  check_int "single2 order" 2 (group_order (Families.single 2));
+  check_int "single3 order" 6 (group_order (Families.single 3));
+  check_int "single4 order" 24 (group_order (Families.single 4));
+  (* star: leaves permute freely around the centre *)
+  check_int "star4 order" 6 (group_order (Families.star 4));
+  (* clique: every pair is a committee, so S_n *)
+  check_int "clique4 order" 24 (group_order (Families.clique 4))
+
+let test_auto_generators_and_orbits () =
+  let h = Families.pair_ring 5 in
+  let elems, complete = Auto.group h in
+  check "ring5 complete" true complete;
+  let gens = Auto.generators ~n:5 elems in
+  (* dihedral groups need exactly two generators *)
+  check_int "ring5 generator count" 2 (List.length gens);
+  let closed, complete = Auto.closure ~n:5 gens in
+  check "closure complete" true complete;
+  check_int "closure regenerates the group" (List.length elems) (List.length closed);
+  (* vertex-transitive: a single orbit; same for edges *)
+  check "ring5 vertex-transitive" true
+    (Array.for_all (fun o -> o = 0) (Auto.orbits ~n:5 elems));
+  check "ring5 edge-transitive" true
+    (Array.for_all (fun o -> o = 0) (Auto.edge_orbits h elems));
+  (* line3: ends fused, middle alone; middle edge... both edges fused *)
+  let l = Families.path 3 in
+  let lelems, _ = Auto.group l in
+  Alcotest.(check (array int)) "line3 vertex orbits" [| 0; 1; 0 |]
+    (Auto.orbits ~n:3 lelems);
+  Alcotest.(check (array int)) "line3 edge orbits" [| 0; 0 |]
+    (Auto.edge_orbits l lelems);
+  (* edge_perm is consistent: image member set is the permuted member set *)
+  List.iter
+    (fun p ->
+      let ep = Auto.edge_perm h p in
+      Array.iter
+        (fun (e : H.edge) ->
+          let img = Array.map (fun v -> p.(v)) e.H.members in
+          Array.sort compare img;
+          Alcotest.(check (array int)) "edge image members" img
+            (H.edge_members h ep.(e.H.eid)))
+        (H.edges h))
+    elems
+
+let test_auto_asymmetric () =
+  (* fig1 (the paper's running example) has no structural symmetry *)
+  check_int "fig1 order" 1 (group_order (Families.fig1 ()));
+  (* identifiers are ignored: shuffling ids must not change the group *)
+  let h = Families.pair_ring 4 in
+  let shuffled = Families.with_shuffled_ids ~seed:7 h in
+  check_int "ids ignored" (group_order h) (group_order shuffled)
+
 (* qcheck: random hypergraphs keep the matching algebra consistent *)
 let qcheck_suite =
   let gen_h =
@@ -309,6 +383,22 @@ let qcheck_suite =
         let h = Families.random ~seed ~n ~m () in
         let g = List.length (Matching.greedy_maximal_matching h) in
         Matching.min_maximal_matching h <= g && g <= Matching.max_matching h);
+    QCheck.Test.make ~name:"io round-trips every generated family" ~count:120 gen_h
+      (fun (seed, n, m) ->
+        let h = Families.with_shuffled_ids ~seed (Families.random ~seed ~n ~m ()) in
+        match Snapcc_hypergraph.Hypergraph_io.parse
+                (Snapcc_hypergraph.Hypergraph_io.to_string h)
+        with
+        | Ok h' -> H.equal h h'
+        | Error e -> QCheck.Test.fail_reportf "parse failed: %s" e);
+    QCheck.Test.make ~name:"automorphisms preserved by id shuffling" ~count:20
+      QCheck.(make ~print:string_of_int Gen.(int_bound 1000))
+      (fun seed ->
+        let h = Families.random ~seed ~n:6 ~m:5 () in
+        let elems, _ = Auto.group h in
+        let elems', _ = Auto.group (Families.with_shuffled_ids ~seed h) in
+        List.length elems = List.length elems'
+        && List.for_all (Auto.is_automorphism h) elems);
     QCheck.Test.make ~name:"restrict preserves membership" ~count:60 gen_h
       (fun (seed, n, m) ->
         let h = Families.random ~seed ~n ~m () in
@@ -334,6 +424,10 @@ let suite =
         Alcotest.test_case "file format roundtrip" `Quick test_io_roundtrip;
         Alcotest.test_case "file format parsing" `Quick test_io_parse;
         Alcotest.test_case "file format on disk" `Quick test_io_file;
+        Alcotest.test_case "automorphism golden orders" `Quick test_auto_golden_orders;
+        Alcotest.test_case "automorphism generators and orbits" `Quick
+          test_auto_generators_and_orbits;
+        Alcotest.test_case "automorphism asymmetric cases" `Quick test_auto_asymmetric;
       ] );
     ( "matching",
       [ Alcotest.test_case "matching predicates" `Quick test_matching_predicates;

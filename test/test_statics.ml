@@ -103,6 +103,8 @@ module Nonlocal_sys = struct
 
   let domain _ _ = [ 0; 1; 2 ]
   let canon _ _ s = s
+  let rename _ ~pi:_ ~eperm:_ _ s = s
+  let state_symmetries _ = []
 end
 
 module Nondet_sys = struct
@@ -110,6 +112,8 @@ module Nondet_sys = struct
 
   let domain _ _ = [ 0; 1; 2 ]
   let canon _ _ s = s
+  let rename _ ~pi:_ ~eperm:_ _ s = s
+  let state_symmetries _ = []
 end
 
 (* ---- fixture: an always-false guard next to a rarely-enabled one ---- *)
@@ -135,6 +139,8 @@ module Deadish = struct
   let observe _ _ _ = Obs.make Obs.Idle
   let domain _ _ = [ 0; 1; 2 ]
   let canon _ _ s = s
+  let rename _ ~pi:_ ~eperm:_ _ s = s
+  let state_symmetries _ = []
 end
 
 let test_nonlocal_fires () =
