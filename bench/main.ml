@@ -246,8 +246,95 @@ let run_engine_bench () =
   let mp_steps_per_s = float_of_int mp_steps /. mt_c in
   let mp_steps_per_s_packed = float_of_int mp_steps /. mt_p in
   Format.printf
-    "mp:     closures %.2fs  packed %.2fs  steps/s %.0f -> %.0f  (x%.2f)@.@."
+    "mp:     closures %.2fs  packed %.2fs  steps/s %.0f -> %.0f  (x%.2f)@."
     mt_c mt_p mp_steps_per_s mp_steps_per_s_packed (mt_c /. mt_p);
+  (* (c) observability tax.  Two measurements:
+
+     - the raw microloop above re-run with a telemetry hub on a discard
+       sink and vector-clock stamping active (`mp_steps_per_s_stamped`,
+       informational: the bare packed step is ~100-150ns, so the ~40ns
+       per-event clock stamp is a visible multiple of it — the raw
+       microloop is a lower bound no observability layer can meet);
+     - the full instrumented pipeline `ccsim mp` actually runs —
+       workload inputs + engine step + Spec monitors + Metrics, all on
+       the hub — with stamping on vs off (`stamping_overhead`,
+       CI-gated).  Each on/off pair runs back-to-back and the reported
+       overhead is the median pair ratio, which cancels host frequency
+       drift that a min-of-k cannot (adjacent runs share the slow
+       phase).  Steady state on this instance is ~x1.06.
+
+     Stamping must not change the execution either way (obs equality
+     per pair below; it never touches the rng). *)
+  let module Tele = Snapcc_telemetry in
+  let discard_hub () =
+    let hub = Tele.Hub.create () in
+    Tele.Hub.add_sink hub
+      (Tele.Sink.custom ~emit:(fun _ -> ()) ~close:(fun () -> ()));
+    hub
+  in
+  let mp_stamped () =
+    let hub = discard_hub () in
+    let eng = E.create ~seed:1 ~telemetry:hub ~packed:hooks h in
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to mp_steps do
+      ignore (E.step eng ~inputs)
+    done;
+    let dt = Unix.gettimeofday () -. t0 in
+    Tele.Hub.close hub;
+    (eng, dt)
+  in
+  let es, mt_s = mp_stamped () in
+  assert (E.obs es = E.obs ep);
+  assert (E.messages_delivered es = E.messages_delivered ep);
+  let mp_steps_per_s_stamped = float_of_int mp_steps /. mt_s in
+  Format.printf
+    "mp:     stamped %.2fs  steps/s %.0f  (raw microloop x%.3f vs packed)@."
+    mt_s mp_steps_per_s_stamped (mt_s /. mt_p);
+  let module Spec = Snapcc_analysis.Spec in
+  let module Metrics = Snapcc_analysis.Metrics in
+  let pipeline ~vclock () =
+    let hub = discard_hub () in
+    let workload = Workload.always_requesting h in
+    let eng = E.create ~seed:1 ~telemetry:hub ~vclock ~packed:hooks h in
+    let spec = Spec.create ~telemetry:hub h ~initial:(E.obs eng) in
+    let metrics = Metrics.create ~telemetry:hub h ~initial:(E.obs eng) in
+    let before = ref (E.obs eng) in
+    let t0 = Unix.gettimeofday () in
+    for i = 0 to mp_steps - 1 do
+      let inputs = Workload.inputs workload !before in
+      ignore (E.step eng ~inputs);
+      let after = E.obs eng in
+      Spec.on_step spec ~step:i ~request_out:inputs.Model.request_out
+        ~before:!before ~after;
+      Metrics.on_step metrics ~step:i ~round:0 ~before:!before ~after;
+      before := after
+    done;
+    let dt = Unix.gettimeofday () -. t0 in
+    Tele.Hub.close hub;
+    (eng, dt)
+  in
+  ignore (pipeline ~vclock:false ());
+  let pairs = 5 in
+  let ratios =
+    Array.init pairs (fun _ ->
+        let e0, pt_off = pipeline ~vclock:false () in
+        let e1, pt_on = pipeline ~vclock:true () in
+        assert (E.obs e0 = E.obs e1);
+        (pt_off, pt_on))
+  in
+  let pt_off = Array.fold_left (fun a (o, _) -> a +. o) 0. ratios in
+  let pt_on = Array.fold_left (fun a (_, o) -> a +. o) 0. ratios in
+  let rs = Array.map (fun (o, n) -> n /. o) ratios in
+  Array.sort compare rs;
+  let stamping_overhead = rs.(pairs / 2) in
+  Format.printf
+    "mp:     pipeline unstamped %.2fs  stamped %.2fs  (median overhead \
+     x%.3f over %d pairs)@."
+    pt_off pt_on stamping_overhead pairs;
+  let profile = E.profile ep in
+  Format.printf "mp profile:";
+  List.iter (fun (k, v) -> Format.printf "  %s=%d" k v) profile;
+  Format.printf "@.@.";
   Json.Obj
     [ ("algo", Json.String "cc3"); ("topo", Json.String topo);
       ("table_build_s", Json.Float build_s);
@@ -259,7 +346,11 @@ let run_engine_bench () =
       ("mp_steps", Json.Int mp_steps);
       ("mp_steps_per_s", Json.Float mp_steps_per_s);
       ("mp_steps_per_s_packed", Json.Float mp_steps_per_s_packed);
-      ("mp_speedup", Json.Float (mt_c /. mt_p)) ]
+      ("mp_speedup", Json.Float (mt_c /. mt_p));
+      ("mp_steps_per_s_stamped", Json.Float mp_steps_per_s_stamped);
+      ("stamping_overhead", Json.Float stamping_overhead);
+      ("profile",
+       Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) profile)) ]
 
 (* ---------- Part 3: networked-runtime macro-benchmark ---------- *)
 
@@ -315,20 +406,11 @@ let run_net_bench () =
   let lat_max = List.fold_left max 0 lat in
   let snapshots_per_s = float_of_int r.delivered /. r.wall_s in
   let bytes_per_s = float_of_int r.bytes_delivered /. r.wall_s in
-  (* Histogram with fixed upper-bound edges (µs); the overflow bucket
-     catches scheduling hiccups so the counts always sum to [delivered]. *)
-  let edges = [| 50; 100; 250; 500; 1_000; 2_500; 5_000; 10_000; max_int |] in
-  let counts = Array.make (Array.length edges) 0 in
-  List.iter
-    (fun us ->
-      let i = ref 0 in
-      while us > edges.(!i) do incr i done;
-      counts.(!i) <- counts.(!i) + 1)
-    lat;
-  let bucket_label i =
-    if edges.(i) = max_int then ">10000us"
-    else Printf.sprintf "<=%dus" edges.(i)
-  in
+  (* Bucketized against the shared telemetry edges (one definition for
+     bench, `ccsim net', `ccsim stats' and the live dashboards); the
+     overflow bucket catches scheduling hiccups so the counts always sum
+     to [delivered]. *)
+  let counts = Snapcc_telemetry.Registry.bucket_counts lat in
   Format.printf
     "sent %d  delivered %d  dropped %d (malformed %d)  violations %d@.\
      snapshots/s %.0f  bytes/s %.0f  wall %.2fs@.\
@@ -336,17 +418,15 @@ let run_net_bench () =
     r.sent r.delivered r.dropped r.malformed
     (List.length r.violations) snapshots_per_s bytes_per_s r.wall_s
     (pct 0.50) (pct 0.90) (pct 0.99) lat_max;
-  Array.iteri
-    (fun i c -> if c > 0 then Format.printf "  %-10s %6d@." (bucket_label i) c)
+  List.iter
+    (fun (label, c) -> if c > 0 then Format.printf "  %-10s %6d@." label c)
     counts;
   Format.printf "@.";
   let hist =
-    Array.to_list
-      (Array.mapi
-         (fun i c ->
-           Json.Obj [ ("bucket", Json.String (bucket_label i));
-                      ("count", Json.Int c) ])
-         counts)
+    List.map
+      (fun (label, c) ->
+        Json.Obj [ ("bucket", Json.String label); ("count", Json.Int c) ])
+      counts
   in
   Json.Obj
     [ ("algo", Json.String "cc1");

@@ -237,25 +237,31 @@ let write_json file json =
       output_string oc (Tele.Json.to_string json);
       output_char oc '\n')
 
+(* [read_lines "-"] reads standard input, so artifacts pipe straight into
+   `ccsim stats -' and `ccsim trace -'. *)
 let read_lines file =
-  let ic = open_in file in
-  Fun.protect
-    ~finally:(fun () -> close_in ic)
-    (fun () ->
-      let rec go acc =
-        match input_line ic with
-        | line -> go (line :: acc)
-        | exception End_of_file -> List.rev acc
-      in
-      go [])
+  let drain ic =
+    let rec go acc =
+      match input_line ic with
+      | line -> go (line :: acc)
+      | exception End_of_file -> List.rev acc
+    in
+    go []
+  in
+  if file = "-" then drain stdin
+  else begin
+    let ic = open_in file in
+    Fun.protect ~finally:(fun () -> close_in ic) (fun () -> drain ic)
+  end
 
 (* A hub fanning out to the requested file sinks.  Returns the hub (None
    when nothing was requested), the ring sink backing [--emit-json] (the
    summary is aggregated from it post-run), and a finalizer that closes
    the sinks (writing the catapult trailer) and the files. *)
-let make_hub ?(ring_capacity = 0) ~emit_trace ~emit_catapult () =
-  if emit_trace = None && emit_catapult = None && ring_capacity = 0 then
-    (None, None, fun () -> ())
+let make_hub ?(ring_capacity = 0) ?(force = false) ~emit_trace ~emit_catapult () =
+  if emit_trace = None && emit_catapult = None && ring_capacity = 0
+     && not force
+  then (None, None, fun () -> ())
   else begin
     (* catapult is the one artifact that renders timestamps; give the hub
        a real clock only when it is requested, so every other artifact
@@ -395,7 +401,7 @@ let run_term =
 (* ---- mp (message-passing emulation) ---- *)
 
 let mp_cmd topo algo_name workload_name steps seed disc random_init bias engine
-    emit_trace emit_json =
+    no_vclock emit_trace emit_json =
   let _, h = (topo : string * H.t) in
   let workload = or_die (workload workload_name ~disc h) in
   let ring_capacity =
@@ -414,13 +420,17 @@ let mp_cmd topo algo_name workload_name steps seed disc random_init bias engine
       let eng =
         E.create ~seed
           ~init:(if random_init then `Random else `Canonical)
-          ~deliver_bias:bias ?telemetry ?packed h
+          ~deliver_bias:bias ~vclock:(not no_vclock) ?telemetry ?packed h
       in
       let spec = Spec.create ?telemetry h ~initial:(E.obs eng) in
       emit
         (Tele.Event.Run_start
            { algo = A.name; daemon = "mp-scheduler";
-             workload = Workload.name workload; seed; n = H.n h; m = H.m h });
+             workload = Workload.name workload; seed; n = H.n h; m = H.m h;
+             topo = Snapcc_hypergraph.Hypergraph_io.to_string h });
+      let metrics =
+        Snapcc_analysis.Metrics.create ?telemetry h ~initial:(E.obs eng)
+      in
       let before = ref (E.obs eng) in
       for i = 0 to steps - 1 do
         let inputs = Workload.inputs workload !before in
@@ -429,6 +439,8 @@ let mp_cmd topo algo_name workload_name steps seed disc random_init bias engine
         Spec.on_step spec ~step:i
           ~request_out:inputs.Snapcc_runtime.Model.request_out ~before:!before
           ~after;
+        Snapcc_analysis.Metrics.on_step metrics ~step:i ~round:0
+          ~before:!before ~after;
         Workload.observe workload ~step:i after;
         before := after
       done;
@@ -481,11 +493,18 @@ let bias_arg =
            ~doc:"Probability in [0,1] that a step delivers a message rather \
                  than activating a process (lower = more staleness).")
 
+let no_vclock_arg =
+  Arg.(value & flag
+       & info [ "no-vclock" ]
+           ~doc:"Ablation: disable vector-clock stamping on the trace.  The \
+                 execution is unchanged (stamping never touches the rng); \
+                 `ccsim trace' will refuse the resulting trace.")
+
 let mp_term =
   Term.(
     const mp_cmd $ topology_arg $ algo_arg $ workload_arg $ checked_steps_arg
     $ seed_arg $ disc_arg $ random_init_arg $ bias_arg $ engine_arg
-    $ emit_trace_arg $ emit_json_arg)
+    $ no_vclock_arg $ emit_trace_arg $ emit_json_arg)
 
 (* ---- net (networked multi-process runtime) ---- *)
 
@@ -530,8 +549,28 @@ let fork_arg =
                  instead of spawning `ccsim node' executables over TCP \
                  loopback.")
 
+let dash_arg =
+  Arg.(value & flag
+       & info [ "dash" ]
+           ~doc:"Render an in-place live dashboard on stderr while the soak \
+                 runs (steps, convenes, deliveries, drops by reason, latency \
+                 and waiting percentiles, verdicts).")
+
+let prom_arg =
+  Arg.(value & opt (some string) None
+       & info [ "prom" ] ~docv:"FILE"
+           ~doc:"Rewrite $(docv) atomically (temp file + rename) with a \
+                 Prometheus text exposition of the live metrics registry, \
+                 ready for a file-based scrape.")
+
+let live_interval_arg =
+  Arg.(value & opt (some float) None
+       & info [ "live-interval" ] ~docv:"SECONDS"
+           ~doc:"Throttle for --dash/--prom refreshes (default 0.5s / 2s).")
+
 let net_cmd topo nprocs algo_name workload_name steps seed disc random_init
-    bias faults burst soak fork engine emit_trace emit_json emit_catapult =
+    bias faults burst soak fork engine emit_trace emit_json emit_catapult dash
+    prom live_interval =
   let h =
     match nprocs with
     | Some k -> snd (or_die (resolve_topo ~n:k "ring"))
@@ -547,8 +586,21 @@ let net_cmd topo nprocs algo_name workload_name steps seed disc random_init
     if emit_json = None then 0 else (steps * ((6 * H.n h) + 16)) + 64
   in
   let telemetry, ring, finish_telemetry =
-    make_hub ~ring_capacity ~emit_trace ~emit_catapult ()
+    make_hub ~ring_capacity ~force:(dash || prom <> None) ~emit_trace
+      ~emit_catapult ()
   in
+  (match telemetry with
+   | Some hub when dash || prom <> None ->
+     let live = Tele.Live.create ~registry:(Tele.Hub.registry hub) () in
+     let now = Unix.gettimeofday in
+     if dash then
+       Tele.Live.add_dash ?interval:live_interval live ~now
+         ~write:(fun s -> output_string stderr s; flush stderr);
+     (match prom with
+      | Some path -> Tele.Live.add_prom ?interval:live_interval live ~now ~path
+      | None -> ());
+     Tele.Hub.add_sink hub (Tele.Live.sink live)
+   | Some _ | None -> ());
   let mode =
     if fork then Net.Spawn.Fork else Net.Spawn.Exec Sys.executable_name
   in
@@ -575,7 +627,11 @@ let net_cmd topo nprocs algo_name workload_name steps seed disc random_init
        "delivery latency: p50 %dus, p90 %dus, p99 %dus, max %dus (%d samples)@."
        (pc 0.50) (pc 0.90) (pc 0.99)
        (Snapcc_analysis.Metrics.maximum l)
-       (List.length l));
+       (List.length l);
+     List.iter
+       (fun (label, c) ->
+         if c > 0 then Format.printf "  %-10s %6d@." label c)
+       (Tele.Registry.bucket_counts l));
   if r.Net.Orchestrator.violations <> [] then begin
     Format.printf "@.violations:@.";
     List.iter
@@ -591,7 +647,8 @@ let net_term =
     const net_cmd $ topology_arg $ net_nprocs_arg $ algo_arg $ workload_arg
     $ checked_steps_arg $ seed_arg $ disc_arg $ random_init_arg $ bias_arg
     $ faults_arg $ burst_arg $ soak_arg $ fork_arg $ engine_arg
-    $ emit_trace_arg $ emit_json_arg $ emit_catapult_arg)
+    $ emit_trace_arg $ emit_json_arg $ emit_catapult_arg $ dash_arg $ prom_arg
+    $ live_interval_arg)
 
 (* ---- bounds ---- *)
 
@@ -1438,7 +1495,7 @@ let replay_term = Term.(const replay_cmd $ replay_file_arg)
 (* ---- stats (offline trace aggregation) ---- *)
 
 let stats_cmd validate file =
-  if not (Sys.file_exists file) then
+  if file <> "-" && not (Sys.file_exists file) then
     or_die (Error (Printf.sprintf "no such file %S" file));
   if validate then begin
     (* strict whole-file JSON parse — the CI gate for BENCH_*.json and the
@@ -1463,7 +1520,7 @@ let stats_cmd validate file =
 let stats_file_arg =
   Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE"
          ~doc:"JSONL trace written by `ccsim run --emit-trace' (or, with \
-               --validate-json, any JSON file).")
+               --validate-json, any JSON file).  `-' reads standard input.")
 
 let stats_validate_arg =
   Arg.(value & flag & info [ "validate-json" ]
@@ -1471,6 +1528,53 @@ let stats_validate_arg =
                JSONL); exit 1 otherwise.")
 
 let stats_term = Term.(const stats_cmd $ stats_validate_arg $ stats_file_arg)
+
+(* ---- trace (offline causal analysis) ---- *)
+
+module Causal = Snapcc_analysis.Causal
+
+let trace_cmd file emit_json =
+  let lines =
+    match read_lines file with
+    | lines -> lines
+    | exception Sys_error msg ->
+      Format.eprintf "ccsim: %s@." msg;
+      exit 2
+  in
+  match Tele.Stats.events_of_jsonl lines with
+  | Error msg ->
+    Format.eprintf "ccsim: %s: %s@." file msg;
+    exit 2
+  | Ok events -> (
+    match Causal.analyze events with
+    | Error msg ->
+      Format.eprintf "ccsim: %s: %s@." file msg;
+      exit 2
+    | Ok t ->
+      let par = Causal.parity t events in
+      (match emit_json with
+       | Some out ->
+         write_json out
+           (Tele.Json.Obj
+              [ ("causal", Causal.to_json t);
+                ("parity", Causal.parity_to_json par) ])
+       | None -> ());
+      Format.printf "%a@." Causal.pp t;
+      Format.printf "%a@." Causal.pp_parity par;
+      if not (Causal.parity_ok par) then exit 1)
+
+let trace_file_arg =
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE"
+         ~doc:"JSONL trace with vector-clock stamps (`ccsim mp' or `ccsim \
+               net' with --emit-trace).  `-' reads standard input.")
+
+let trace_emit_json_arg =
+  Arg.(value & opt (some string) None
+       & info [ "emit-json" ] ~docv:"FILE"
+           ~doc:"Also write the causal summary and the parity report as one \
+                 JSON object to $(docv).")
+
+let trace_term = Term.(const trace_cmd $ trace_file_arg $ trace_emit_json_arg)
 
 (* ---- list ---- *)
 
@@ -1545,6 +1649,15 @@ let cmds =
                (identical to the `ccsim run --emit-json' artifact), or \
                validate any JSON artifact with --validate-json.")
       stats_term;
+    Cmd.v
+      (Cmd.info "trace"
+         ~doc:"Rebuild a run from the vector-clock stamps of a JSONL trace \
+               alone: happens-before linearization, consistent cuts, \
+               cut-consistent Spec verdicts, causal vs schedule concurrency \
+               and the burst-to-recovery critical path — cross-checked \
+               against the online observer's events of the same trace.  \
+               Exit codes: 0 parity, 1 parity mismatch, 2 unusable trace.")
+      trace_term;
     Cmd.v (Cmd.info "list" ~doc:"List topologies, algorithms and experiments") list_term;
   ]
 

@@ -76,7 +76,8 @@ module Make (A : Model.ALGO) = struct
            workload = Workload.name workload;
            seed;
            n = Snapcc_hypergraph.Hypergraph.n h;
-           m = Snapcc_hypergraph.Hypergraph.m h });
+           m = Snapcc_hypergraph.Hypergraph.m h;
+           topo = Snapcc_hypergraph.Hypergraph_io.to_string h });
     let outcome = ref `Steps_exhausted in
     let before = ref initial in
     let last_round = ref 0 in

@@ -1,6 +1,8 @@
 module H = Snapcc_hypergraph.Hypergraph
 module Model = Snapcc_runtime.Model
+module Obs = Snapcc_runtime.Obs
 module Tele = Snapcc_telemetry
+module Vclock = Snapcc_telemetry.Vclock
 module Sem = Mp_semantics
 
 module Make (A : Model.ALGO) = struct
@@ -30,6 +32,26 @@ module Make (A : Model.ALGO) = struct
     mutable count : int;  (* total pending *)
   }
 
+  (* Vector-clock bookkeeping, active only when stamping is on: per-process
+     clocks plus the clock each pending snapshot carried when it entered
+     the channel.  Purely observational — it never touches the rng or the
+     scheduler, so stamped and unstamped runs are event-for-event
+     identical. *)
+  type vc = {
+    clocks : int array array;
+    chan_clocks : int array array array;
+        (* chan_clocks.(p).(i): the clock carried by the snapshot pending
+           from p's i-th neighbor, valid iff chan_has.(p).(i) — flat
+           preallocated int rows, so the per-broadcast capture is a plain
+           blit (no allocation, no write barrier on the hot path) *)
+    chan_has : bool array array;
+    cores : A.state array;
+        (* scratch mirror of the authoritative cores (refreshed on the two
+           mutation points) so a clock stamp's observation needs no
+           per-event array rebuild *)
+    mutable init_emitted : bool;
+  }
+
   type t = {
     h : H.t;
     sem : Sem.t;  (* scheduler + rng: the shared transformation semantics *)
@@ -38,12 +60,17 @@ module Make (A : Model.ALGO) = struct
     chan : A.state option array array;  (* chan.(p).(i): pending from i-th neighbor *)
     actions : A.state Model.action array;
     mutable pk : pk option;
+    vc : vc option;
     mutable sent : int;
     mutable delivered : int;
+    mutable prof_pk_hits : int;
+    mutable prof_pk_fallbacks : int;
+    mutable prof_activations : int;
+    mutable prof_deliveries : int;
   }
 
   let create ?(seed = 0) ?(init = `Canonical) ?(deliver_bias = 0.5) ?telemetry
-      ?packed h =
+      ?(vclock = true) ?packed h =
     let n = H.n h in
     let sem = Sem.create ~deliver_bias ~seed h in
     let rng = Sem.rng sem in
@@ -126,9 +153,35 @@ module Make (A : Model.ALGO) = struct
         | pk -> Some pk
         | exception Failure _ -> None)
     in
+    let vc =
+      if vclock && telemetry <> None then begin
+        let clocks = Array.init n (fun _ -> Array.make n 0) in
+        for p = 0 to n - 1 do
+          clocks.(p).(p) <- 1
+        done;
+        let chan_clocks =
+          Array.init n (fun p ->
+              Array.map
+                (fun q -> Array.copy clocks.(q))
+                (H.neighbors h p))
+        in
+        (* randomly preloaded snapshots carry the sender's initial clock *)
+        let chan_has =
+          Array.init n (fun p ->
+              Array.map (fun m -> m <> None) chan.(p))
+        in
+        Some
+          { clocks; chan_clocks; chan_has;
+            cores = Array.map View.core views;
+            init_emitted = false }
+      end
+      else None
+    in
     { h; sem; telemetry; views; chan;
       actions = Array.of_list (A.actions h);
-      pk; sent = 0; delivered = 0 }
+      pk; vc; sent = 0; delivered = 0;
+      prof_pk_hits = 0; prof_pk_fallbacks = 0;
+      prof_activations = 0; prof_deliveries = 0 }
 
   let hypergraph t = t.h
   let engine_kind t = if t.pk = None then `Closure else `Packed
@@ -142,6 +195,12 @@ module Make (A : Model.ALGO) = struct
   let messages_sent t = t.sent
   let max_staleness t = Sem.max_staleness t.sem
 
+  let profile t =
+    [ ("mp_pk_hits", t.prof_pk_hits);
+      ("mp_pk_fallbacks", t.prof_pk_fallbacks);
+      ("mp_activations", t.prof_activations);
+      ("mp_deliveries", t.prof_deliveries) ]
+
   let in_flight t =
     Array.fold_left
       (fun acc row ->
@@ -150,6 +209,29 @@ module Make (A : Model.ALGO) = struct
 
   let emit t ev =
     match t.telemetry with None -> () | Some hub -> Tele.Hub.emit hub ev
+
+  let emit_clock t vc ~k p =
+    let o = A.observe t.h vc.cores p in
+    emit t
+      (Tele.Event.Clock
+         { step = Sem.steps t.sem;
+           p;
+           k;
+           clock = Array.to_list vc.clocks.(p);
+           obs_code = Obs.code o;
+           disc = o.Obs.discussions })
+
+  (* Process initial configurations are events too (each sets its own clock
+     component to 1); they are flushed lazily so they land after the
+     runner's [run_start]. *)
+  let ensure_init_clocks t =
+    match t.vc with
+    | Some vc when not vc.init_emitted ->
+      vc.init_emitted <- true;
+      for p = 0 to H.n t.h - 1 do
+        emit_clock t vc ~k:Tele.Event.clock_init p
+      done
+    | _ -> ()
 
   let broadcast t p =
     Array.iteri
@@ -162,6 +244,15 @@ module Make (A : Model.ALGO) = struct
              pk.count <- pk.count + 1
            end;
            pk.chan_ids.(q).(slot) <- pk.core_ids.(p)
+         | None -> ());
+        (match t.vc with
+         | Some vc ->
+           let src = vc.clocks.(p) in
+           let dst = vc.chan_clocks.(q).(slot) in
+           for j = 0 to Array.length src - 1 do
+             Array.unsafe_set dst j (Array.unsafe_get src j)
+           done;
+           vc.chan_has.(q).(slot) <- true
          | None -> ());
         t.chan.(q).(slot) <- Some (View.core t.views.(p));
         t.sent <- t.sent + 1)
@@ -194,6 +285,8 @@ module Make (A : Model.ALGO) = struct
           pk.hooks.Model.pk_entry ~mode:(Model.mode_of inputs p) ~proc:p
             pk.cfgs.(p)
         in
+        if e >= -1 then t.prof_pk_hits <- t.prof_pk_hits + 1
+        else t.prof_pk_fallbacks <- t.prof_pk_fallbacks + 1;
         if e = -1 then None
         else if e >= 0 then begin
           let i = Model.entry_act e in
@@ -210,15 +303,30 @@ module Make (A : Model.ALGO) = struct
       end
 
   let activate t ~inputs p =
+    t.prof_activations <- t.prof_activations + 1;
     let label = view_activate t ~inputs p in
+    (* tick before broadcasting: the snapshot causally includes the
+       activation; a no-op activation is a heartbeat, not an event *)
+    (match t.vc with
+     | Some vc when label <> None ->
+       vc.cores.(p) <- View.core t.views.(p);
+       let own = vc.clocks.(p) in
+       own.(p) <- own.(p) + 1
+     | _ -> ());
     broadcast t p;
     Sem.on_activated t.sem p;
     emit t (Tele.Event.Mp_activated { step = Sem.steps t.sem; p; label });
+    (match t.vc with
+     | Some vc when label <> None ->
+       emit_clock t vc ~k:Tele.Event.clock_activation p
+     | _ -> ());
     Activated (p, label)
 
   let deliver t p i =
+    let received = t.chan.(p).(i) <> None in
     (match t.chan.(p).(i) with
      | Some msg ->
+       t.prof_deliveries <- t.prof_deliveries + 1;
        View.refresh t.views.(p) ~slot:i msg;
        (match t.pk with
         | Some pk ->
@@ -228,12 +336,28 @@ module Make (A : Model.ALGO) = struct
           pk.masks.(p) <- pk.masks.(p) land lnot (1 lsl i);
           pk.count <- pk.count - 1
         | None -> ());
+       (match t.vc with
+        | Some vc ->
+          let own = vc.clocks.(p) in
+          if vc.chan_has.(p).(i) then begin
+            let carried = vc.chan_clocks.(p).(i) in
+            for j = 0 to Array.length own - 1 do
+              let c = Array.unsafe_get carried j in
+              if c > Array.unsafe_get own j then Array.unsafe_set own j c
+            done;
+            vc.chan_has.(p).(i) <- false
+          end;
+          own.(p) <- own.(p) + 1
+        | None -> ());
        Sem.on_cache_refresh t.sem ~dst:p ~slot:i;
        t.chan.(p).(i) <- None;
        t.delivered <- t.delivered + 1
      | None -> ());
     let src = (H.neighbors t.h p).(i) in
     emit t (Tele.Event.Mp_delivered { step = Sem.steps t.sem; dst = p; src });
+    (match t.vc with
+     | Some vc when received -> emit_clock t vc ~k:Tele.Event.clock_delivery p
+     | _ -> ());
     Delivered (p, src)
 
   let pending t =
@@ -245,6 +369,7 @@ module Make (A : Model.ALGO) = struct
     !acc
 
   let step t ~inputs =
+    ensure_init_clocks t;
     Sem.begin_step t.sem;
     let decision =
       match t.pk with
@@ -256,6 +381,7 @@ module Make (A : Model.ALGO) = struct
     | Sem.Deliver (p, i) -> deliver t p i
 
   let corrupt t ~victims =
+    ensure_init_clocks t;
     let rng = Sem.rng t.sem in
     emit t (Tele.Event.Fault { step = Sem.steps t.sem; victims });
     List.iter
@@ -275,9 +401,23 @@ module Make (A : Model.ALGO) = struct
                    pk.count <- pk.count + 1
                  end
                | None -> ());
+              (* the adversary forged a snapshot "from q": stamp it with
+                 q's current clock so delivery stays causally well-formed *)
+              (match t.vc with
+               | Some vc ->
+                 let src = vc.clocks.(q) in
+                 Array.blit src 0 vc.chan_clocks.(p).(i) 0 (Array.length src);
+                 vc.chan_has.(p).(i) <- true
+               | None -> ());
               t.chan.(p).(i) <- Some (A.random_init t.h rng q)
             end)
           (H.neighbors t.h p);
+        (match t.vc with
+         | Some vc ->
+           vc.cores.(p) <- View.core t.views.(p);
+           Vclock.tick vc.clocks.(p) p;
+           emit_clock t vc ~k:Tele.Event.clock_corruption p
+         | None -> ());
         (* refresh the mirror for everything the fault rewrote *)
         match t.pk with
         | Some pk -> (

@@ -32,6 +32,7 @@ module Make (A : Snapcc_runtime.Model.ALGO) : sig
     ?init:[ `Canonical | `Random ] ->
     ?deliver_bias:float ->
     ?telemetry:Snapcc_telemetry.Hub.t ->
+    ?vclock:bool ->
     ?packed:A.state Snapcc_runtime.Model.packed ->
     Snapcc_hypergraph.Hypergraph.t ->
     t
@@ -41,6 +42,15 @@ module Make (A : Snapcc_runtime.Model.ALGO) : sig
       [telemetry] receives [mp_activated] per activation, [mp_delivered]
       per delivery and [fault] on {!corrupt}, stamped with the scheduler
       step.
+
+      [vclock] (default [true], effective only with [telemetry]) maintains
+      per-process vector clocks — initial-configuration events, acting
+      activations, accepted deliveries and corruptions each tick/merge per
+      the rules in {!Snapcc_telemetry.Vclock} — and emits one [clock]
+      event per such event, carrying the clock and the process' packed
+      local observation.  Stamping is purely observational: it never
+      touches the rng, so a stamped run is event-for-event identical to an
+      unstamped one.
 
       [packed] enables the table-driven fast path: guard scans on each
       activation become one packed-table lookup, and the scheduler's
@@ -78,4 +88,9 @@ module Make (A : Snapcc_runtime.Model.ALGO) : sig
   val max_staleness : t -> int
   (** Diagnostic: the largest number of steps any cache entry has gone
       without refresh, over the whole run. *)
+
+  val profile : t -> (string * int) list
+  (** Cheap monotonic hot-path counters: [mp_pk_hits] (guard scans served
+      by the packed table), [mp_pk_fallbacks] (closure fallbacks on the
+      packed path), [mp_activations], [mp_deliveries]. *)
 end

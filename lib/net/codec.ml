@@ -1,4 +1,4 @@
-let version = 2
+let version = 3
 let magic = "SNCC"
 
 let algo_tag = function
@@ -18,11 +18,23 @@ type msg =
   | Init of { seed : int; topo : string; core : string; cache : string }
   | Ready
   | Activate of { step : int; req_in : bool array; req_out : bool array }
-  | Activated of { label : string option; core : string }
-  | Deliver of { src : int; state : string }
+  | Activated of { label : string option; core : string; clock : string }
+  | Deliver of { src : int; state : string; clock : string }
   | Delivered
-  | Deliver_full of { src : int; seq : int; form : int; payload : string }
-  | Deliver_delta of { src : int; seq : int; base_seq : int; delta : string }
+  | Deliver_full of {
+      src : int;
+      seq : int;
+      form : int;
+      payload : string;
+      clock : string;
+    }
+  | Deliver_delta of {
+      src : int;
+      seq : int;
+      base_seq : int;
+      delta : string;
+      clock : string;
+    }
   | Resync of { reason : string }
   | Corrupt of { core : string; cache : string }
   | Corrupted
@@ -179,27 +191,31 @@ let write_payload b = function
     w_i64 b step;
     w_bools b req_in;
     w_bools b req_out
-  | Activated { label; core } ->
+  | Activated { label; core; clock } ->
     (match label with
      | None -> w_u8 b 0
      | Some l ->
        w_u8 b 1;
        w_str b l);
-    w_str b core
-  | Deliver { src; state } ->
+    w_str b core;
+    w_str b clock
+  | Deliver { src; state; clock } ->
     w_i64 b src;
-    w_str b state
+    w_str b state;
+    w_str b clock
   | Delivered -> ()
-  | Deliver_full { src; seq; form; payload } ->
+  | Deliver_full { src; seq; form; payload; clock } ->
     w_i64 b src;
     w_i64 b seq;
     w_u8 b form;
-    w_str b payload
-  | Deliver_delta { src; seq; base_seq; delta } ->
+    w_str b payload;
+    w_str b clock
+  | Deliver_delta { src; seq; base_seq; delta; clock } ->
     w_i64 b src;
     w_i64 b seq;
     w_i64 b base_seq;
-    w_str b delta
+    w_str b delta;
+    w_str b clock
   | Resync { reason } -> w_str b reason
   | Corrupt { core; cache } ->
     w_str b core;
@@ -233,10 +249,12 @@ let read_payload r kind =
       | 1 -> Some (r_str r)
       | b -> raise (Malformed (Printf.sprintf "option byte %d" b))
     in
-    Activated { label; core = r_str r }
+    let core = r_str r in
+    Activated { label; core; clock = r_str r }
   | 6 ->
     let src = r_i64 r in
-    Deliver { src; state = r_str r }
+    let state = r_str r in
+    Deliver { src; state; clock = r_str r }
   | 7 -> Delivered
   | 8 ->
     let core = r_str r in
@@ -252,12 +270,14 @@ let read_payload r kind =
     let seq = r_i64 r in
     let form = r_u8 r in
     if form > 1 then raise (Malformed (Printf.sprintf "payload form %d" form));
-    Deliver_full { src; seq; form; payload = r_str r }
+    let payload = r_str r in
+    Deliver_full { src; seq; form; payload; clock = r_str r }
   | 14 ->
     let src = r_i64 r in
     let seq = r_i64 r in
     let base_seq = r_i64 r in
-    Deliver_delta { src; seq; base_seq; delta = r_str r }
+    let delta = r_str r in
+    Deliver_delta { src; seq; base_seq; delta; clock = r_str r }
   | 15 -> Resync { reason = r_str r }
   | k -> raise (Unknown_kind k)
 

@@ -46,25 +46,45 @@ type msg =
   | Activate of { step : int; req_in : bool array; req_out : bool array }
       (** orchestrator → node: execute the highest-priority enabled action
           against the cached view, under these input predicates. *)
-  | Activated of { label : string option; core : string }
-      (** node → orchestrator: the action executed (if any) and the node's
+  | Activated of { label : string option; core : string; clock : string }
+      (** node → orchestrator: the action executed (if any), the node's
           new true core — the full-state snapshot that the link layer
-          fans out to the neighbors. *)
-  | Deliver of { src : int; state : string }
+          fans out to the neighbors — and the node's vector clock
+          ({!Snapcc_telemetry.Vclock.encode_full}), which the orchestrator
+          cross-checks against its mirror (a protocol invariant under
+          lockstep). *)
+  | Deliver of { src : int; state : string; clock : string }
       (** orchestrator → node: a neighbor's snapshot reached you
-          (version-1 full-marshal form, still used by the closure
-          engine). *)
+          (version-2 full-marshal form, still used by the closure engine).
+          [clock] is the sender's vector clock at send time, full-encoded. *)
   | Delivered  (** node → orchestrator: cache refreshed *)
-  | Deliver_full of { src : int; seq : int; form : int; payload : string }
+  | Deliver_full of {
+      src : int;
+      seq : int;
+      form : int;
+      payload : string;
+      clock : string;
+    }
       (** orchestrator → node, packed engine: a full snapshot.  [form] 1:
           [payload] is the sender's state as an 8-byte little-endian
           packed-domain id; [form] 0: a marshalled state (the fallback for
           states outside the interned domain).  [seq] names the snapshot
-          per link so deltas can reference it. *)
-  | Deliver_delta of { src : int; seq : int; base_seq : int; delta : string }
+          per link so deltas can reference it.  [clock] is a full-form
+          vclock trailer ({!Snapcc_telemetry.Vclock.encode_wire}). *)
+  | Deliver_delta of {
+      src : int;
+      seq : int;
+      base_seq : int;
+      delta : string;
+      clock : string;
+    }
       (** orchestrator → node, packed engine: the snapshot as a
           {!Delta} against the last payload the node acknowledged on this
-          link ([base_seq]); the target keeps the base's form. *)
+          link ([base_seq]); the target keeps the base's form.  [clock] is
+          a vclock trailer, usually delta-form against the clock accepted
+          with [base_seq] (full-form when link reordering made the delta
+          inexpressible); an unusable trailer triggers [Resync], like any
+          other base mismatch. *)
   | Resync of { reason : string }
       (** node → orchestrator: a [Deliver_full]/[Deliver_delta] was
           well-formed on the wire but could not be applied (base out of

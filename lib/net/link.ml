@@ -1,5 +1,6 @@
 type entry = {
   state : string;
+  clock : int array;  (* the sender's vector clock at send time *)
   sent_step : int;
   sent_at : float;
   eligible_at : int;
@@ -31,7 +32,7 @@ let enqueue t entry =
   t.q <- t.q @ [ entry ];
   !evicted
 
-let send t ~(plan : Faults.plan) ~step ~now ~state =
+let send t ~(plan : Faults.plan) ~step ~now ~state ~clock =
   if draw t plan.drop then { copies = 0; evicted = 0 }
   else begin
     (* Pure links coalesce: the fresh snapshot supersedes anything in
@@ -43,6 +44,7 @@ let send t ~(plan : Faults.plan) ~step ~now ~state =
       in
       {
         state;
+        clock;
         sent_step = step;
         sent_at = now;
         eligible_at = step + lag;
@@ -57,10 +59,10 @@ let send t ~(plan : Faults.plan) ~step ~now ~state =
     { copies; evicted = !evicted }
   end
 
-let preload t ~step ~state =
+let preload t ~step ~state ~clock =
   t.q <- [];
   t.q <-
-    [ { state; sent_step = step; sent_at = Unix.gettimeofday ();
+    [ { state; clock; sent_step = step; sent_at = Unix.gettimeofday ();
         eligible_at = step; corrupt = false } ]
 
 let eligible t ~step = List.exists (fun e -> e.eligible_at <= step) t.q

@@ -11,6 +11,9 @@
 
 type entry = {
   state : string;  (** marshalled snapshot *)
+  clock : int array;
+      (** the sender's vector clock at send time; shared across the copies
+          of one broadcast and never mutated by the link *)
   sent_step : int;
   sent_at : float;  (** wall clock, for latency accounting only *)
   eligible_at : int;  (** first scheduler step at which it may deliver *)
@@ -33,12 +36,13 @@ type send_result = {
 }
 
 val send :
-  t -> plan:Faults.plan -> step:int -> now:float -> state:string -> send_result
+  t -> plan:Faults.plan -> step:int -> now:float -> state:string ->
+  clock:int array -> send_result
 (** Pass the snapshot through the fault plan and enqueue the surviving
     copies.  Partition filtering is the orchestrator's job (it is a
     global property of the step, not of one link). *)
 
-val preload : t -> step:int -> state:string -> unit
+val preload : t -> step:int -> state:string -> clock:int array -> unit
 (** Enqueue a snapshot without consulting the fault plan — used to seed
     in-flight messages for randomised initial configurations and
     corruption bursts, mirroring [Mp_engine]'s channel initialisation. *)

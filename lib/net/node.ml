@@ -1,5 +1,6 @@
 module HIO = Snapcc_hypergraph.Hypergraph_io
 module Model = Snapcc_runtime.Model
+module Vclock = Snapcc_telemetry.Vclock
 
 let fail fmt = Printf.ksprintf failwith fmt
 
@@ -31,19 +32,30 @@ module Work (A : Model.ALGO) = struct
     let core : A.state = Marshal.from_string core 0 in
     let cache : A.state array = Marshal.from_string cache 0 in
     let view = V.create h ~self:id ~core ~cache in
-    (* last accepted snapshot payload per cache slot, for delta decoding *)
+    (* the node's vector clock (own component = 1 for the initial
+       configuration); the orchestrator maintains a tick-for-tick mirror
+       and cross-checks it against the [Activated] echo *)
+    let my_clock = Vclock.create (Snapcc_hypergraph.Hypergraph.n h) in
+    Vclock.tick my_clock id;
+    (* last accepted snapshot payload (and its clock) per cache slot, for
+       delta decoding: the clock accepted with [pay_seq] is the base the
+       sender encodes delta-form clock trailers against *)
     let deg = Array.length cache in
     let pay_seq = Array.make deg (-1) in
     let pay_form = Array.make deg 0 in
     let pay = Array.make deg "" in
+    let pay_clock = Array.make deg [||] in
     let frames = ref 1 (* the Init frame *) in
     let decode_errors = ref 0 in
     let send msg = Wire.write fd (Codec.encode ~algo:tag msg) in
-    let accept ~slot ~seq ~form ~payload st =
+    let accept ~slot ~seq ~form ~payload ~clock st =
       V.refresh view ~slot st;
       pay_seq.(slot) <- seq;
       pay_form.(slot) <- form;
       pay.(slot) <- payload;
+      pay_clock.(slot) <- clock;
+      Vclock.merge_into ~into:my_clock clock;
+      Vclock.tick my_clock id;
       send Codec.Delivered
     in
     send Codec.Ready;
@@ -64,35 +76,53 @@ module Work (A : Model.ALGO) = struct
             { Model.request_in = pred req_in; request_out = pred req_out }
           in
           let label = V.activate view ~inputs in
+          (* an activation that fired an action is an event; a no-op
+             activation is a heartbeat and leaves the clock untouched *)
+          if label <> None then Vclock.tick my_clock id;
           send
             (Codec.Activated
-               { label; core = Marshal.to_string (V.core view) [] })
-        | Ok (_, Codec.Deliver { src; state }) ->
-          let st : A.state = Marshal.from_string state 0 in
-          V.refresh view ~slot:(V.slot view src) st;
-          send Codec.Delivered
-        | Ok (_, Codec.Deliver_full { src; seq; form; payload }) -> (
+               { label;
+                 core = Marshal.to_string (V.core view) [];
+                 clock = Vclock.encode_full my_clock })
+        | Ok (_, Codec.Deliver { src; state; clock }) -> (
+          match Vclock.decode_full clock with
+          | None -> fail "node %d: bad clock trailer from %d" id src
+          | Some c ->
+            let st : A.state = Marshal.from_string state 0 in
+            V.refresh view ~slot:(V.slot view src) st;
+            Vclock.merge_into ~into:my_clock c;
+            Vclock.tick my_clock id;
+            send Codec.Delivered)
+        | Ok (_, Codec.Deliver_full { src; seq; form; payload; clock }) -> (
           let slot = V.slot view src in
-          match payload_state coder ~src ~form payload with
-          | Some st -> accept ~slot ~seq ~form ~payload st
-          | None -> send (Codec.Resync { reason = "unknown packed id" }))
-        | Ok (_, Codec.Deliver_delta { src; seq; base_seq; delta }) -> (
+          match Vclock.decode_wire clock with
+          | None -> send (Codec.Resync { reason = "bad clock trailer" })
+          | Some c -> (
+            match payload_state coder ~src ~form payload with
+            | Some st -> accept ~slot ~seq ~form ~payload ~clock:c st
+            | None -> send (Codec.Resync { reason = "unknown packed id" })))
+        | Ok (_, Codec.Deliver_delta { src; seq; base_seq; delta; clock }) -> (
           let slot = V.slot view src in
           if pay_seq.(slot) <> base_seq then
             send (Codec.Resync { reason = "base out of sync" })
           else
-            match Delta.apply ~base:pay.(slot) delta with
-            | None -> send (Codec.Resync { reason = "delta does not apply" })
-            | Some target -> (
-              let form = pay_form.(slot) in
-              match payload_state coder ~src ~form target with
-              | Some st -> accept ~slot ~seq ~form ~payload:target st
-              | None -> send (Codec.Resync { reason = "unknown packed id" })))
+            match Vclock.decode_wire ~base:pay_clock.(slot) clock with
+            | None -> send (Codec.Resync { reason = "bad clock trailer" })
+            | Some c -> (
+              match Delta.apply ~base:pay.(slot) delta with
+              | None -> send (Codec.Resync { reason = "delta does not apply" })
+              | Some target -> (
+                let form = pay_form.(slot) in
+                match payload_state coder ~src ~form target with
+                | Some st -> accept ~slot ~seq ~form ~payload:target ~clock:c st
+                | None -> send (Codec.Resync { reason = "unknown packed id" }))))
         | Ok (_, Codec.Corrupt { core; cache }) ->
           let core : A.state = Marshal.from_string core 0 in
           let cache : A.state array = Marshal.from_string cache 0 in
           V.set_core view core;
           Array.iteri (fun slot st -> V.refresh view ~slot st) cache;
+          (* a corruption fault is an event of the victim *)
+          Vclock.tick my_clock id;
           send Codec.Corrupted
         | Ok (_, Codec.Bye) ->
           send

@@ -3,8 +3,10 @@ module HIO = Snapcc_hypergraph.Hypergraph_io
 module Model = Snapcc_runtime.Model
 module Obs = Snapcc_runtime.Obs
 module Spec = Snapcc_analysis.Spec
+module Metrics = Snapcc_analysis.Metrics
 module Workload = Snapcc_workload.Workload
 module Tele = Snapcc_telemetry
+module Vclock = Snapcc_telemetry.Vclock
 module Sem = Snapcc_mp.Mp_semantics
 
 type config = {
@@ -56,7 +58,9 @@ module Make (A : Model.ALGO) = struct
      the receiver acknowledged (the delta base), and the keyframe
      counter *)
   type lstate = {
-    mutable acked : (int * int * string) option;  (* seq, form, payload *)
+    mutable acked : (int * int * string * Vclock.t) option;
+        (* seq, form, payload, and the clock accepted with that seq — the
+           base for delta-form clock trailers *)
     mutable since_key : int;
     mutable next_seq : int;
   }
@@ -100,6 +104,18 @@ module Make (A : Model.ALGO) = struct
                 else None)
             (H.neighbors h p))
     in
+    (* The orchestrator's mirror of every node's vector clock, maintained
+       tick-for-tick with the node side (own component = 1 at init, tick on
+       acting activation and corruption, merge + tick on accepted delivery)
+       and cross-checked against each [Activated] echo.  Purely
+       observational — no rng draws, so stamping never shifts the
+       schedule. *)
+    let clocks =
+      Array.init n (fun p ->
+          let c = Vclock.create n in
+          Vclock.tick c p;
+          c)
+    in
     (* links.(dst).(slot) carries snapshots from [neighbors dst].(slot). *)
     let links =
       Array.init n (fun dst ->
@@ -112,7 +128,12 @@ module Make (A : Model.ALGO) = struct
         Array.iteri
           (fun slot m ->
             match m with
-            | Some st -> Link.preload links.(dst).(slot) ~step:0 ~state:(marshal st)
+            | Some st ->
+              let link = links.(dst).(slot) in
+              (* randomly preloaded snapshots carry the sender's initial
+                 clock, like [Mp_engine]'s channel preloads *)
+              Link.preload link ~step:0 ~state:(marshal st)
+                ~clock:(Vclock.copy clocks.(Link.src link))
             | None -> ())
           row)
       chan0;
@@ -186,12 +207,28 @@ module Make (A : Model.ALGO) = struct
         (Tele.Event.Run_start
            { algo = A.name; daemon = "net-scheduler";
              workload = Workload.name workload; seed = cfg.seed; n;
-             m = H.m h });
+             m = H.m h; topo });
       let obs () = Array.init n (A.observe h states) in
+      let emit_clock ~k p =
+        let o = A.observe h states p in
+        emit
+          (Tele.Event.Clock
+             { step = Sem.steps sem; p; k;
+               clock = Vclock.to_list clocks.(p);
+               obs_code = Obs.code o; disc = o.Obs.discussions })
+      in
+      (* initial configurations are events too — same stream prefix as
+         [Mp_engine]'s lazy init flush *)
+      for p = 0 to n - 1 do
+        emit_clock ~k:Tele.Event.clock_init p
+      done;
       let before = ref (obs ()) in
       let spec = Spec.create ?telemetry h ~initial:!before in
+      let metrics = Metrics.create ?telemetry h ~initial:!before in
       let broadcast p =
         let snapshot = marshal states.(p) in
+        (* one shared copy per broadcast: link entries never mutate it *)
+        let clock = Vclock.copy clocks.(p) in
         let bytes = String.length snapshot in
         let now = Unix.gettimeofday () in
         Array.iter
@@ -210,6 +247,7 @@ module Make (A : Model.ALGO) = struct
               let link = links.(q).(slot_of q p) in
               let r =
                 Link.send link ~plan ~step:(step - 1) ~now ~state:snapshot
+                  ~clock
               in
               if r.Link.copies = 0 then begin
                 emit
@@ -229,11 +267,23 @@ module Make (A : Model.ALGO) = struct
       let activate p ~req_in ~req_out =
         send p (Codec.Activate { step = Sem.steps sem; req_in; req_out });
         match recv p with
-        | Codec.Activated { label; core } ->
+        | Codec.Activated { label; core; clock } ->
           states.(p) <- (Marshal.from_string core 0 : A.state);
+          (* tick before broadcasting (the snapshot causally includes the
+             activation), then cross-check the node's echoed clock against
+             the mirror: a mismatch is a protocol bug, not a fault *)
+          if label <> None then Vclock.tick clocks.(p) p;
+          (match Vclock.decode_full clock with
+           | Some c when c = clocks.(p) -> ()
+           | Some c ->
+             fail "net: node %d clock skew: node %s, mirror %s" p
+               (Vclock.to_string c)
+               (Vclock.to_string clocks.(p))
+           | None -> fail "net: node %d: bad clock echo" p);
           broadcast p;
           Sem.on_activated sem p;
-          emit (Tele.Event.Mp_activated { step = Sem.steps sem; p; label })
+          emit (Tele.Event.Mp_activated { step = Sem.steps sem; p; label });
+          if label <> None then emit_clock ~k:Tele.Event.clock_activation p
         | _ -> fail "net: node %d: expected activated" p
       in
       (* Snapshot frame for one delivery under the packed wire format:
@@ -249,14 +299,21 @@ module Make (A : Model.ALGO) = struct
           | Some id -> (1, le64 id)
           | None -> (0, e.Link.state)
         in
-        let full = (Codec.Deliver_full { src; seq; form; payload }, 1 + String.length payload) in
+        let full =
+          (Codec.Deliver_full
+             { src; seq; form; payload;
+               clock = Vclock.encode_wire e.Link.clock },
+           1 + String.length payload)
+        in
         let frame =
           match lst.acked with
-          | Some (base_seq, bform, bpay)
+          | Some (base_seq, bform, bpay, bclk)
             when bform = form && lst.since_key < keyframe_interval -> (
             match Delta.encode ~base:bpay ~target:payload with
             | Some d when String.length d < 1 + String.length payload ->
-              (Codec.Deliver_delta { src; seq; base_seq; delta = d },
+              (Codec.Deliver_delta
+                 { src; seq; base_seq; delta = d;
+                   clock = Vclock.encode_wire ~base:bclk e.Link.clock },
                String.length d)
             | _ -> full
           )
@@ -279,10 +336,15 @@ module Make (A : Model.ALGO) = struct
               int_of_float ((Unix.gettimeofday () -. e.Link.sent_at) *. 1e6)
             in
             rev_latencies := latency_us :: !rev_latencies;
+            (* mirror the node's acceptance: merge the carried clock, tick
+               the receiver *)
+            Vclock.merge_into ~into:clocks.(p) e.Link.clock;
+            Vclock.tick clocks.(p) p;
             emit (Tele.Event.Mp_delivered { step; dst = p; src });
             emit
               (Tele.Event.Net_delivered
-                 { step; src; dst = p; bytes; latency_us })
+                 { step; src; dst = p; bytes; latency_us });
+            emit_clock ~k:Tele.Event.clock_delivery p
           in
           let reject body =
             send_raw p (Codec.corrupt_body frame_rng body);
@@ -299,7 +361,10 @@ module Make (A : Model.ALGO) = struct
            | None ->
              (* version-1 delivery: one full marshalled snapshot *)
              let body =
-               Codec.encode ~algo:tag (Codec.Deliver { src; state = e.Link.state })
+               Codec.encode ~algo:tag
+                 (Codec.Deliver
+                    { src; state = e.Link.state;
+                      clock = Vclock.encode_full e.Link.clock })
              in
              if e.Link.corrupt then reject body
              else begin
@@ -321,7 +386,7 @@ module Make (A : Model.ALGO) = struct
                send_raw p (Codec.encode ~algo:tag msg);
                match recv p with
                | Codec.Delivered ->
-                 lst.acked <- Some (seq, form, payload);
+                 lst.acked <- Some (seq, form, payload, e.Link.clock);
                  (match msg with
                   | Codec.Deliver_delta _ -> lst.since_key <- lst.since_key + 1
                   | _ -> lst.since_key <- 0);
@@ -341,10 +406,11 @@ module Make (A : Model.ALGO) = struct
                  send_raw p
                    (Codec.encode ~algo:tag
                       (Codec.Deliver_full
-                         { src; seq = seq2; form = 0; payload = e.Link.state }));
+                         { src; seq = seq2; form = 0; payload = e.Link.state;
+                           clock = Vclock.encode_wire e.Link.clock }));
                  (match recv p with
                   | Codec.Delivered ->
-                    lst.acked <- Some (seq2, 0, e.Link.state);
+                    lst.acked <- Some (seq2, 0, e.Link.state, e.Link.clock);
                     finish (wire + 1 + String.length e.Link.state)
                   | _ -> fail "net: node %d: expected delivered after resync" p)
                | _ -> fail "net: node %d: expected delivered" p
@@ -371,9 +437,15 @@ module Make (A : Model.ALGO) = struct
             Array.iteri
               (fun slot q ->
                 if Random.State.bool rng then
+                  (* the adversary forged a snapshot "from q": stamp it
+                     with q's current clock so delivery stays causally
+                     well-formed *)
                   Link.preload links.(p).(slot) ~step:i
-                    ~state:(marshal (A.random_init h rng q)))
-              (H.neighbors h p))
+                    ~state:(marshal (A.random_init h rng q))
+                    ~clock:(Vclock.copy clocks.(q)))
+              (H.neighbors h p);
+            Vclock.tick clocks.(p) p;
+            emit_clock ~k:Tele.Event.clock_corruption p)
           victims;
         burst_done := true;
         Spec.on_fault spec (obs ());
@@ -402,18 +474,15 @@ module Make (A : Model.ALGO) = struct
         let after = obs () in
         Spec.on_step spec ~step:i ~request_out:inputs.Model.request_out
           ~before:!before ~after;
-        (* observer-derived events: meeting-set and token diffs *)
+        (* observer-derived events: [Metrics] emits convene / terminate /
+           waiting-span events exactly like the in-process driver, so net
+           traces aggregate identically; the meeting-set diff stays local
+           for the result counters and recovery detection *)
         let mb = Obs.meetings h !before and ma = Obs.meetings h after in
         let fresh = List.filter (fun e -> not (List.mem e mb)) ma in
         let gone = List.filter (fun e -> not (List.mem e ma)) mb in
-        List.iter
-          (fun eid -> emit (Tele.Event.Convene { step = i; round = 0; eid }))
-          fresh;
-        List.iter
-          (fun eid ->
-            incr terminations;
-            emit (Tele.Event.Terminate { step = i; round = 0; eid }))
-          gone;
+        terminations := !terminations + List.length gone;
+        Metrics.on_step metrics ~step:i ~round:0 ~before:!before ~after;
         (match (fresh, !burst_done, !recover) with
          | eid :: _, true, None ->
            recover := Some i;

@@ -23,6 +23,11 @@ module Make (A : Model.ALGO) = struct
     ids : int array;
     pk_act : int array;
     pk_succ : int array;
+    (* hot-path profiling: monotone counters, no wall-clock reads *)
+    mutable prof_scan_hits : int;
+    mutable prof_scan_fallbacks : int;
+    mutable prof_applies : int;
+    mutable prof_selects : int;
   }
 
   let create ?(seed = 0) ?(check_locality = false) ?(init = `Canonical)
@@ -60,6 +65,10 @@ module Make (A : Model.ALGO) = struct
       ids;
       pk_act = Array.make n (-1);
       pk_succ = Array.make n (-1);
+      prof_scan_hits = 0;
+      prof_scan_fallbacks = 0;
+      prof_applies = 0;
+      prof_selects = 0;
     }
 
   let engine_kind t = if t.packed = None then `Closure else `Packed
@@ -88,6 +97,12 @@ module Make (A : Model.ALGO) = struct
   let steps_taken t = t.step_no
   let rounds t = t.round_no
   let rng t = t.rng
+
+  let profile t =
+    [ ("engine_scan_hits", t.prof_scan_hits);
+      ("engine_scan_fallbacks", t.prof_scan_fallbacks);
+      ("engine_applies", t.prof_applies);
+      ("engine_selects", t.prof_selects) ]
 
   let ctx_for t ~inputs p : A.state Model.ctx =
     let read =
@@ -130,6 +145,8 @@ module Make (A : Model.ALGO) = struct
     let acc = ref [] in
     for p = H.n t.h - 1 downto 0 do
       let e = pk.Model.pk_entry ~mode:(Model.mode_of inputs p) ~proc:p t.ids in
+      if e >= -1 then t.prof_scan_hits <- t.prof_scan_hits + 1
+      else t.prof_scan_fallbacks <- t.prof_scan_fallbacks + 1;
       if e >= 0 then begin
         t.pk_act.(p) <- Model.entry_act e;
         t.pk_succ.(p) <- Model.entry_succ e;
@@ -214,6 +231,8 @@ module Make (A : Model.ALGO) = struct
                 Some (p, i, t.actions.(i).Model.apply ctx))
             selected
       in
+      t.prof_selects <- t.prof_selects + 1;
+      t.prof_applies <- t.prof_applies + List.length executed;
       let next = Array.copy t.states in
       List.iter (fun (p, _, s) -> next.(p) <- s) executed;
       t.states <- next;

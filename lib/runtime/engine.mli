@@ -84,4 +84,11 @@ module Make (A : Model.ALGO) : sig
       fairness counters restart. *)
 
   val rng : t -> Random.State.t
+
+  val profile : t -> (string * int) list
+  (** Cheap monotonic hot-path counters, surfaced in the bench artifacts:
+      [engine_scan_hits] / [engine_scan_fallbacks] (guard scans served by
+      the packed tables vs dropped to closures), [engine_applies]
+      (statements executed), [engine_selects] (non-terminal daemon
+      selections).  No wall-clock reads — safe on the hot path. *)
 end

@@ -15,6 +15,34 @@ let make ?(pointer = None) ?(token_flag = false) ?(locked = false)
     ?(has_token = false) ?(discussions = 0) status =
   { status; pointer; token_flag; locked; has_token; discussions }
 
+(* Dense packing of everything but [discussions] (which is unbounded):
+   2 status bits, 3 flag bits, then the pointer biased by one.  The causal
+   tracing layer ships observations as [(code, discussions)] pairs on Clock
+   events; [of_code] is its exact inverse. *)
+let status_code = function Idle -> 0 | Looking -> 1 | Waiting -> 2 | Done -> 3
+
+let code o =
+  status_code o.status
+  lor (if o.token_flag then 4 else 0)
+  lor (if o.locked then 8 else 0)
+  lor (if o.has_token then 16 else 0)
+  lor ((match o.pointer with None -> 0 | Some e -> e + 1) lsl 5)
+
+let of_code ~code ~discussions =
+  {
+    status =
+      (match code land 3 with
+       | 0 -> Idle
+       | 1 -> Looking
+       | 2 -> Waiting
+       | _ -> Done);
+    token_flag = code land 4 <> 0;
+    locked = code land 8 <> 0;
+    has_token = code land 16 <> 0;
+    pointer = (match code lsr 5 with 0 -> None | e -> Some (e - 1));
+    discussions;
+  }
+
 let equal a b =
   a.status = b.status && a.pointer = b.pointer && a.token_flag = b.token_flag
   && a.locked = b.locked && a.has_token = b.has_token

@@ -21,6 +21,15 @@ val make :
   ?pointer:int option -> ?token_flag:bool -> ?locked:bool -> ?has_token:bool ->
   ?discussions:int -> status -> t
 
+val code : t -> int
+(** Dense packing of every field but [discussions] (2 status bits, the
+    three flags, pointer biased by one) — the [obs_code] payload of causal
+    [Clock] events. *)
+
+val of_code : code:int -> discussions:int -> t
+(** Exact inverse of {!code}, the discussions counter supplied
+    separately. *)
+
 val equal : t -> t -> bool
 val pp_status : Format.formatter -> status -> unit
 val pp : Format.formatter -> t -> unit

@@ -6,6 +6,7 @@ type t =
       seed : int;
       n : int;
       m : int;
+      topo : string;
     }
   | Step of {
       step : int;
@@ -41,9 +42,22 @@ type t =
       latency_us : int;
     }
   | Net_dropped of { step : int; src : int; dst : int; reason : string }
+  | Clock of {
+      step : int;
+      p : int;
+      k : int;
+      clock : int list;
+      obs_code : int;
+      disc : int;
+    }
   | Run_end of { outcome : string; steps : int; rounds : int }
 
 type stamped = { seq : int; t_us : int; ev : t }
+
+let clock_init = 0
+let clock_activation = 1
+let clock_delivery = 2
+let clock_corruption = 3
 
 let kind = function
   | Run_start _ -> "run_start"
@@ -63,6 +77,7 @@ let kind = function
   | Net_sent _ -> "net_sent"
   | Net_delivered _ -> "net_delivered"
   | Net_dropped _ -> "net_dropped"
+  | Clock _ -> "clock"
   | Run_end _ -> "run_end"
 
 (* Every event body is a pure function of the seed except [net_delivered],
@@ -76,13 +91,14 @@ let ints l = Json.List (List.map (fun i -> Json.Int i) l)
 let to_json ev =
   let fields =
     match ev with
-    | Run_start { algo; daemon; workload; seed; n; m } ->
+    | Run_start { algo; daemon; workload; seed; n; m; topo } ->
       [ ("algo", Json.String algo);
         ("daemon", Json.String daemon);
         ("workload", Json.String workload);
         ("seed", Json.Int seed);
         ("n", Json.Int n);
-        ("m", Json.Int m) ]
+        ("m", Json.Int m);
+        ("topo", Json.String topo) ]
     | Step { step; round; selected; neutralized; meetings } ->
       [ ("step", Json.Int step);
         ("round", Json.Int round);
@@ -134,6 +150,13 @@ let to_json ev =
         ("src", Json.Int src);
         ("dst", Json.Int dst);
         ("reason", Json.String reason) ]
+    | Clock { step; p; k; clock; obs_code; disc } ->
+      [ ("step", Json.Int step);
+        ("p", Json.Int p);
+        ("k", Json.Int k);
+        ("clock", ints clock);
+        ("obs_code", Json.Int obs_code);
+        ("disc", Json.Int disc) ]
     | Run_end { outcome; steps; rounds } ->
       [ ("outcome", Json.String outcome);
         ("steps", Json.Int steps);
@@ -165,7 +188,10 @@ let of_json j =
     let* seed = int "seed" in
     let* n = int "n" in
     let* m = int "m" in
-    Ok (Run_start { algo; daemon; workload; seed; n; m })
+    let topo =
+      match Json.member "topo" j with Some (Json.String s) -> s | _ -> ""
+    in
+    Ok (Run_start { algo; daemon; workload; seed; n; m; topo })
   | "step" ->
     let* step = int "step" in
     let* round = int "round" in
@@ -251,6 +277,14 @@ let of_json j =
     let* dst = int "dst" in
     let* reason = str "reason" in
     Ok (Net_dropped { step; src; dst; reason })
+  | "clock" ->
+    let* step = int "step" in
+    let* p = int "p" in
+    let* k = int "k" in
+    let* clock = int_list "clock" in
+    let* obs_code = int "obs_code" in
+    let* disc = int "disc" in
+    Ok (Clock { step; p; k; clock; obs_code; disc })
   | "run_end" ->
     let* outcome = str "outcome" in
     let* steps = int "steps" in

@@ -21,6 +21,10 @@ type t =
       seed : int;
       n : int;  (** professors *)
       m : int;  (** committees *)
+      topo : string;
+          (** The conflict hypergraph in [Hypergraph_io] text form, so a
+              trace is self-contained for offline causal analysis (empty
+              in traces predating the causal layer). *)
     }
   | Step of {
       step : int;
@@ -68,6 +72,22 @@ type t =
           (severed link), ["overflow"] (bounded queue), or ["malformed"]
           (the receiver's strict decoder rejected the frame — a corrupted
           frame is a transient fault, never a crash). *)
+  | Clock of {
+      step : int;
+      p : int;
+      k : int;
+          (** Event class: {!clock_init}, {!clock_activation},
+              {!clock_delivery} or {!clock_corruption}. *)
+      clock : int list;  (** [p]'s vector clock {e after} the event *)
+      obs_code : int;
+          (** [p]'s packed local observation after the event
+              ({!Snapcc_runtime.Obs.code} in the runtime library). *)
+      disc : int;  (** [p]'s remaining-discussions counter *)
+    }
+      (** A vector-clock stamp for one node-originated event of the
+          message-passing model.  The offline causal analyzer rebuilds the
+          happens-before DAG, consistent cuts and Spec verdicts from these
+          events alone. *)
   | Run_end of { outcome : string; steps : int; rounds : int }
 
 type stamped = {
@@ -75,6 +95,12 @@ type stamped = {
   t_us : int;  (** monotonic microseconds since hub creation *)
   ev : t;
 }
+
+val clock_init : int
+val clock_activation : int
+val clock_delivery : int
+val clock_corruption : int
+(** The [k] classes of {!constructor-Clock} events. *)
 
 val kind : t -> string
 (** Stable snake-case tag, e.g. ["wait_close"] — the ["ev"] field of the

@@ -1,0 +1,113 @@
+type output = {
+  interval : float;
+  now : unit -> float;
+  mutable last : float;
+  render : unit -> unit;
+  finish : unit -> unit;
+}
+
+type t = {
+  registry : Registry.t;
+  mutable step : int;
+  mutable events : int;
+  mutable outputs : output list;
+}
+
+let create ~registry () = { registry; step = 0; events = 0; outputs = [] }
+
+let c t name = Registry.counter t.registry name
+let bump t name = Registry.incr (c t name)
+
+let observe t (s : Event.stamped) =
+  t.events <- t.events + 1;
+  (match s.Event.ev with
+   | Event.Net_sent { step; _ } ->
+     t.step <- max t.step step;
+     bump t "net_sent"
+   | Event.Net_delivered { step; latency_us; _ } ->
+     t.step <- max t.step step;
+     bump t "net_delivered";
+     Registry.observe (Registry.histogram t.registry "latency_us") latency_us
+   | Event.Net_dropped { step; reason; _ } ->
+     t.step <- max t.step step;
+     bump t "net_dropped";
+     bump t ("net_dropped_" ^ reason)
+   | Event.Convene { step; _ } ->
+     t.step <- max t.step step;
+     bump t "convenes"
+   | Event.Terminate { step; _ } ->
+     t.step <- max t.step step;
+     bump t "terminations"
+   | Event.Wait_close { waited_steps = _; _ } -> bump t "waits_completed"
+   | Event.Verdict _ -> bump t "violations"
+   | Event.Fault _ -> bump t "faults"
+   | Event.Recover _ -> bump t "recoveries"
+   | Event.Token_handoff { step; _ } ->
+     t.step <- max t.step step;
+     bump t "token_handoffs"
+   | Event.Mp_activated { step; _ } -> t.step <- max t.step step
+   | Event.Clock _ -> bump t "clock_events"
+   | _ -> ());
+  List.iter
+    (fun o ->
+      let now = o.now () in
+      if now -. o.last >= o.interval then begin
+        o.last <- now;
+        o.render ()
+      end)
+    t.outputs
+
+let cv t name = Registry.counter_value (c t name)
+
+let render_dash t =
+  let b = Buffer.create 512 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b (s ^ "\n")) fmt in
+  let hp name q =
+    Registry.percentile q (Registry.histogram t.registry name)
+  in
+  line "ccsim net - live  step %d  events %d" t.step t.events;
+  line "  net   sent %d  delivered %d  dropped %d (drop %d, overflow %d, malformed %d, resync %d)"
+    (cv t "net_sent") (cv t "net_delivered") (cv t "net_dropped")
+    (cv t "net_dropped_drop") (cv t "net_dropped_overflow")
+    (cv t "net_dropped_malformed") (cv t "net_dropped_resync");
+  line "  lat   p50 %dus  p90 %dus  p99 %dus" (hp "latency_us" 0.50)
+    (hp "latency_us" 0.90) (hp "latency_us" 0.99);
+  line "  spec  convenes %d  terminations %d  violations %d  faults %d  handoffs %d"
+    (cv t "convenes") (cv t "terminations") (cv t "violations") (cv t "faults")
+    (cv t "token_handoffs");
+  line "  wait  served %d  p50 %d  p90 %d  p95 %d steps" (cv t "waits_completed")
+    (hp "wait_steps" 0.50) (hp "wait_steps" 0.90) (hp "wait_steps" 0.95);
+  Buffer.contents b
+
+(* Atomic rewrite: scrape targets never observe a half-written exposition. *)
+let write_prom t ~path =
+  let tmp = path ^ ".tmp" in
+  let oc = open_out tmp in
+  output_string oc (Registry.to_prometheus t.registry);
+  close_out oc;
+  Sys.rename tmp path
+
+let count_lines s =
+  String.fold_left (fun acc ch -> if ch = '\n' then acc + 1 else acc) 0 s
+
+let add_dash ?(interval = 0.5) t ~now ~write =
+  let drawn = ref 0 in
+  let draw () =
+    let body = render_dash t in
+    let erase =
+      if !drawn = 0 then "" else Printf.sprintf "\027[%dA\027[0J" !drawn
+    in
+    drawn := count_lines body;
+    write (erase ^ body)
+  in
+  t.outputs <-
+    { interval; now; last = 0.; render = draw; finish = draw } :: t.outputs
+
+let add_prom ?(interval = 1.0) t ~now ~path =
+  let render () = write_prom t ~path in
+  t.outputs <- { interval; now; last = 0.; render; finish = render } :: t.outputs
+
+let sink t =
+  Sink.custom
+    ~emit:(fun s -> observe t s)
+    ~close:(fun () -> List.iter (fun o -> o.finish ()) t.outputs)

@@ -1,0 +1,36 @@
+(** Live surfaces for long soaks: an in-place TTY dashboard and a
+    Prometheus text exposition, both fed from the hub's event fan-out.
+
+    A {!t} folds events into a {!Registry} (delivery/drop counters per
+    reason, latency and waiting histograms, Spec verdict counts) and drives
+    any number of throttled outputs.  Timing and IO are injected — this
+    library has no Unix dependency — so [bin/ccsim] passes wall-clock [now]
+    and the writers. *)
+
+type t
+
+val create : registry:Registry.t -> unit -> t
+(** [registry] is shared with the hub, so instruments fed elsewhere (e.g.
+    the observer's [wait_steps] histogram) appear on the surfaces too. *)
+
+val observe : t -> Event.stamped -> unit
+(** Fold one event; called by the {!sink}.  Renders any output whose
+    interval has elapsed. *)
+
+val render_dash : t -> string
+(** The dashboard body (no terminal control codes), one trailing newline
+    per line. *)
+
+val write_prom : t -> path:string -> unit
+(** Write the registry's Prometheus exposition to [path] atomically
+    (temp file + rename). *)
+
+val add_dash : ?interval:float -> t -> now:(unit -> float) -> write:(string -> unit) -> unit
+(** In-place dashboard: each redraw erases the previous one with ANSI
+    cursor movement, so it wants a TTY writer (stderr). *)
+
+val add_prom : ?interval:float -> t -> now:(unit -> float) -> path:string -> unit
+
+val sink : t -> Sink.t
+(** The hub-attachable sink.  Closing it renders every output once more,
+    so the final state is always visible/scrapable. *)

@@ -57,6 +57,26 @@ let percentile q h =
     sorted.(max 0 (min (h.len - 1) (rank - 1)))
   end
 
+(* The one definition of the delivery-latency histogram edges (µs, upper
+   bounds, overflow last): the net summary, `ccsim stats`, bench and the
+   Prometheus exposition all bucketize against this array. *)
+let latency_buckets_us = [| 50; 100; 250; 500; 1_000; 2_500; 5_000; 10_000; max_int |]
+
+let bucket_label i =
+  if latency_buckets_us.(i) = max_int then
+    Printf.sprintf ">%dus" latency_buckets_us.(Array.length latency_buckets_us - 2)
+  else Printf.sprintf "<=%dus" latency_buckets_us.(i)
+
+let bucket_counts samples =
+  let counts = Array.make (Array.length latency_buckets_us) 0 in
+  List.iter
+    (fun us ->
+      let i = ref 0 in
+      while us > latency_buckets_us.(!i) do i := !i + 1 done;
+      counts.(!i) <- counts.(!i) + 1)
+    samples;
+  Array.to_list (Array.mapi (fun i c -> (bucket_label i, c)) counts)
+
 let sorted_bindings tbl =
   Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
   |> List.sort (fun (a, _) (b, _) -> compare a b)
@@ -94,3 +114,43 @@ let to_json t =
        Json.Obj
          (List.map (fun (k, h) -> (k, hist_json h)) (sorted_bindings t.histograms)))
     ]
+
+(* Prometheus text exposition (version 0.0.4).  Histograms render as
+   summaries — the registry keeps raw samples, so quantiles are exact
+   nearest-rank, not bucket-interpolated. *)
+let prom_name prefix k =
+  let b = Bytes.of_string (prefix ^ k) in
+  Bytes.iteri
+    (fun i c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> ()
+      | _ -> Bytes.set b i '_')
+    b;
+  Bytes.to_string b
+
+let to_prometheus ?(prefix = "snapcc_") t =
+  let buf = Buffer.create 1024 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf s; Buffer.add_char buf '\n') fmt in
+  List.iter
+    (fun (k, c) ->
+      let name = prom_name prefix k in
+      line "# TYPE %s counter" name;
+      line "%s %d" name c.count)
+    (sorted_bindings t.counters);
+  List.iter
+    (fun (k, g) ->
+      let name = prom_name prefix k in
+      line "# TYPE %s gauge" name;
+      line "%s %.6g" name g.value)
+    (sorted_bindings t.gauges);
+  List.iter
+    (fun (k, h) ->
+      let name = prom_name prefix k in
+      line "# TYPE %s summary" name;
+      List.iter
+        (fun q -> line "%s{quantile=\"%.2g\"} %d" name q (percentile q h))
+        [ 0.5; 0.9; 0.95; 0.99 ];
+      line "%s_sum %d" name (List.fold_left ( + ) 0 (hist_values h));
+      line "%s_count %d" name h.len)
+    (sorted_bindings t.histograms);
+  Buffer.contents buf

@@ -39,3 +39,23 @@ val to_json : t -> Json.t
 (** [{"counters":{..},"gauges":{..},"histograms":{name:{"count":..,"min":..,
     "max":..,"mean":..,"p50":..,"p90":..,"p95":..,"p99":..}}}] with names
     sorted. *)
+
+(** {2 Delivery-latency buckets}
+
+    The single definition of the latency histogram edges shared by the net
+    summary, [ccsim stats], bench and the live dashboards. *)
+
+val latency_buckets_us : int array
+(** Upper-bound edges in µs, overflow bucket ([max_int]) last. *)
+
+val bucket_label : int -> string
+(** Label of edge [i]: ["<=250us"], ..., [">10000us"] for the overflow. *)
+
+val bucket_counts : int list -> (string * int) list
+(** Bucketize latency samples against {!latency_buckets_us}; every bucket
+    is present (zeros included) and the counts sum to the sample count. *)
+
+val to_prometheus : ?prefix:string -> t -> string
+(** Prometheus text exposition: counters and gauges verbatim, histograms as
+    summaries with exact nearest-rank quantiles.  Names are prefixed
+    (default ["snapcc_"]) and sanitized to the Prometheus charset. *)

@@ -9,10 +9,13 @@ type kind =
   | Jsonl of (string -> unit)
   | Ring of ring_state
   | Catapult of { write : string -> unit; mutable first : bool }
+  | Custom of { emit : Event.stamped -> unit; close : unit -> unit }
 
 type t = { kind : kind; mutable closed : bool }
 
 let jsonl write = { kind = Jsonl write; closed = false }
+
+let custom ~emit ~close = { kind = Custom { emit; close }; closed = false }
 
 let ring ~capacity =
   if capacity <= 0 then invalid_arg "Sink.ring: capacity must be positive";
@@ -31,7 +34,7 @@ let ring_events t =
         (* oldest first: once saturated, [head] is the oldest slot *)
         if r.len < r.capacity then r.data.(i)
         else r.data.((r.head + i) mod r.capacity))
-  | Jsonl _ | Catapult _ -> []
+  | Jsonl _ | Catapult _ | Custom _ -> []
 
 let ring_push r (s : Event.stamped) =
   if r.len < r.capacity then begin
@@ -132,7 +135,7 @@ let catapult_json (s : Event.stamped) =
          [ ("s", Json.String "t") ])
   | Event.Run_start _ | Event.Run_end _ | Event.Wait_open _
   | Event.Wait_close _ | Event.Mc_frontier _ | Event.Mp_activated _
-  | Event.Mp_delivered _ | Event.Net_sent _ ->
+  | Event.Mp_delivered _ | Event.Net_sent _ | Event.Clock _ ->
     None
 
 let emit t s =
@@ -146,11 +149,13 @@ let emit t s =
        | Some j ->
          if c.first then c.first <- false else c.write ",";
          c.write (Json.to_string j))
+    | Custom c -> c.emit s
 
 let close t =
   if not t.closed then begin
     t.closed <- true;
     match t.kind with
     | Catapult c -> c.write "]}"
+    | Custom c -> c.close ()
     | Jsonl _ | Ring _ -> ()
   end

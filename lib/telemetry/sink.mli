@@ -29,6 +29,11 @@ val catapult : (string -> unit) -> t
 (** The output is a single JSON object [{"traceEvents":[...]}]; it becomes
     valid JSON once {!close} is called. *)
 
+val custom : emit:(Event.stamped -> unit) -> close:(unit -> unit) -> t
+(** An arbitrary consumer on the hub's fan-out — the live dashboard and the
+    Prometheus exposition attach this way.  [close] runs once, on the first
+    {!close}. *)
+
 val emit : t -> Event.stamped -> unit
 val close : t -> unit
 (** Flush/terminate the sink's output ({!catapult} writes its closing

@@ -1,0 +1,118 @@
+type kind =
+  | Wait
+  | Meeting
+  | Handoff
+  | Recovery
+
+let kind_name = function
+  | Wait -> "wait"
+  | Meeting -> "meeting"
+  | Handoff -> "handoff"
+  | Recovery -> "recovery"
+
+type span = {
+  kind : kind;
+  subject : int;
+  open_step : int;
+  close_step : int;
+  duration : int;
+}
+
+type tracker = {
+  registry : Registry.t;
+  mutable rev_spans : span list;
+  wait_open : (int, int) Hashtbl.t;  (* p -> open step *)
+  meeting_open : (int, int) Hashtbl.t;  (* eid -> convene step *)
+  mutable last_handoff : (int * int) option;  (* holder, step *)
+  mutable fault_at : int option;  (* earliest unrecovered fault *)
+}
+
+let create () =
+  {
+    registry = Registry.create ();
+    rev_spans = [];
+    wait_open = Hashtbl.create 16;
+    meeting_open = Hashtbl.create 16;
+    last_handoff = None;
+    fault_at = None;
+  }
+
+let close t ~kind ~subject ~open_step ~close_step ~duration =
+  t.rev_spans <- { kind; subject; open_step; close_step; duration } :: t.rev_spans;
+  Registry.observe
+    (Registry.histogram t.registry ("span_" ^ kind_name kind ^ "_steps"))
+    duration
+
+let feed t (ev : Event.t) =
+  match ev with
+  | Event.Wait_open { step; p; _ } -> Hashtbl.replace t.wait_open p step
+  | Event.Wait_close { step; p; waited_steps; _ } ->
+    let open_step =
+      match Hashtbl.find_opt t.wait_open p with
+      | Some s -> s
+      | None -> step - waited_steps
+    in
+    Hashtbl.remove t.wait_open p;
+    close t ~kind:Wait ~subject:p ~open_step ~close_step:step
+      ~duration:waited_steps
+  | Event.Convene { step; eid; _ } -> Hashtbl.replace t.meeting_open eid step
+  | Event.Terminate { step; eid; _ } -> (
+    match Hashtbl.find_opt t.meeting_open eid with
+    | None -> ()
+    | Some open_step ->
+      Hashtbl.remove t.meeting_open eid;
+      close t ~kind:Meeting ~subject:eid ~open_step ~close_step:step
+        ~duration:(step - open_step))
+  | Event.Token_handoff { step; p } ->
+    (match t.last_handoff with
+     | Some (_, prev) ->
+       close t ~kind:Handoff ~subject:p ~open_step:prev ~close_step:step
+         ~duration:(step - prev)
+     | None -> ());
+    t.last_handoff <- Some (p, step)
+  | Event.Fault { step; _ } ->
+    if t.fault_at = None then t.fault_at <- Some step
+  | Event.Recover { step; _ } -> (
+    match t.fault_at with
+    | None -> ()
+    | Some open_step ->
+      t.fault_at <- None;
+      close t ~kind:Recovery ~subject:0 ~open_step ~close_step:step
+        ~duration:(step - open_step))
+  | _ -> ()
+
+let spans t = List.rev t.rev_spans
+
+let open_spans t =
+  let waits =
+    Hashtbl.fold (fun p s acc -> (Wait, p, s) :: acc) t.wait_open []
+  in
+  let meetings =
+    Hashtbl.fold (fun e s acc -> (Meeting, e, s) :: acc) t.meeting_open []
+  in
+  let faults =
+    match t.fault_at with None -> [] | Some s -> [ (Recovery, 0, s) ]
+  in
+  List.sort compare (waits @ meetings @ faults)
+
+let registry t = t.registry
+
+let summary_json t =
+  let per_kind kind =
+    let h = Registry.histogram t.registry ("span_" ^ kind_name kind ^ "_steps") in
+    let count = Registry.hist_count h in
+    let vals = Registry.hist_values h in
+    let sum = List.fold_left ( + ) 0 vals in
+    ( kind_name kind,
+      Json.Obj
+        [ ("count", Json.Int count);
+          ("mean_steps",
+           Json.Float
+             (if count = 0 then 0. else float_of_int sum /. float_of_int count));
+          ("p50_steps", Json.Int (Registry.percentile 0.50 h));
+          ("p90_steps", Json.Int (Registry.percentile 0.90 h));
+          ("p95_steps", Json.Int (Registry.percentile 0.95 h));
+          ("p99_steps", Json.Int (Registry.percentile 0.99 h));
+          ("max_steps", Json.Int (List.fold_left max 0 vals)) ] )
+  in
+  Json.Obj (List.map per_kind [ Wait; Meeting; Handoff; Recovery ])

@@ -1,0 +1,47 @@
+(** Typed spans reconstructed from the event stream.
+
+    A span is a closed interval of scheduler steps with a subject:
+
+    - [Wait]: one professor's request→convene waiting span (the paper's
+      §3.3 waiting time), bounded by [wait_open]/[wait_close];
+    - [Meeting]: one committee's convene→terminate session;
+    - [Handoff]: the token's travel between consecutive handoffs (subject
+      is the receiving professor);
+    - [Recovery]: fault-injection→first-convene (time-to-stabilize).
+
+    Durations feed per-kind histograms of a private {!Registry}, so the
+    percentile summaries here share the nearest-rank code path used by the
+    online metrics and [ccsim stats]. *)
+
+type kind =
+  | Wait
+  | Meeting
+  | Handoff
+  | Recovery
+
+val kind_name : kind -> string
+
+type span = {
+  kind : kind;
+  subject : int;  (** professor, committee or token holder *)
+  open_step : int;
+  close_step : int;
+  duration : int;  (** steps; for [Wait] the event's own [waited_steps] *)
+}
+
+type tracker
+
+val create : unit -> tracker
+val feed : tracker -> Event.t -> unit
+
+val spans : tracker -> span list
+(** Completed spans, in close order. *)
+
+val open_spans : tracker -> (kind * int * int) list
+(** Still-open spans as [(kind, subject, open_step)], sorted. *)
+
+val registry : tracker -> Registry.t
+(** The backing registry; histogram [span_<kind>_steps] per kind. *)
+
+val summary_json : tracker -> Json.t
+(** Per-kind [{count, mean_steps, p50/p90/p95/p99_steps, max_steps}]. *)

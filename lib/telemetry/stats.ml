@@ -24,6 +24,7 @@ type summary = {
   violations : int;
   faults : int;
   token_handoffs : int;
+  latency_histogram : (string * int) list;
   outcome : string option;
 }
 
@@ -50,11 +51,12 @@ let of_events events =
   let violations = ref 0 in
   let faults = ref 0 in
   let tokens = ref 0 in
+  let rev_latencies = ref [] in
   let run_end = ref None in
   List.iter
     (fun (ev : Event.t) ->
       match ev with
-      | Event.Run_start { algo; daemon; workload; seed; n; m } ->
+      | Event.Run_start { algo; daemon; workload; seed; n; m; topo = _ } ->
         if !meta = None then
           meta := Some { algo; daemon; workload; seed; n; m }
       | Event.Step { round; meetings; _ } ->
@@ -72,9 +74,11 @@ let of_events events =
       | Event.Verdict _ -> incr violations
       | Event.Fault _ -> incr faults
       | Event.Token_handoff _ -> incr tokens
+      | Event.Net_delivered { latency_us; _ } ->
+        rev_latencies := latency_us :: !rev_latencies
       | Event.Recover _ | Event.Mc_frontier _ | Event.Mp_activated _
-      | Event.Mp_delivered _ | Event.Net_sent _ | Event.Net_delivered _
-      | Event.Net_dropped _ ->
+      | Event.Mp_delivered _ | Event.Net_sent _ | Event.Net_dropped _
+      | Event.Clock _ ->
         ()
       | Event.Run_end { outcome; steps; rounds } ->
         run_end := Some (outcome, steps, rounds))
@@ -109,6 +113,9 @@ let of_events events =
       violations = !violations;
       faults = !faults;
       token_handoffs = !tokens;
+      latency_histogram =
+        (if !rev_latencies = [] then []
+         else Registry.bucket_counts (List.rev !rev_latencies));
       outcome;
     } )
 
@@ -126,34 +133,44 @@ let to_json ?meta s =
               ("n", Json.Int m.n);
               ("m", Json.Int m.m) ] ) ]
   in
+  (* the latency histogram appears only when the trace carried deliveries,
+     so summaries of non-networked runs are byte-identical to before *)
+  let latency_fields =
+    match s.latency_histogram with
+    | [] -> []
+    | buckets ->
+      [ ( "latency_histogram",
+          Json.Obj (List.map (fun (l, c) -> (l, Json.Int c)) buckets) ) ]
+  in
   Json.Obj
     (meta_fields
     @ [ ( "summary",
           Json.Obj
-            [ ("steps", Json.Int s.steps);
-              ("rounds", Json.Int s.rounds);
-              ("convenes", Json.Int s.convenes);
-              ("terminations", Json.Int s.terminations);
-              ("actions", Json.Int s.actions);
-              ("mean_concurrency", Json.Float s.mean_concurrency);
-              ("max_concurrency", Json.Int s.max_concurrency);
-              ( "waits",
-                Json.Obj
-                  [ ("completed", Json.Int s.waits_completed);
-                    ("mean_steps", Json.Float s.wait_mean);
-                    ("p50_steps", Json.Int s.wait_p50);
-                    ("p90_steps", Json.Int s.wait_p90);
-                    ("p95_steps", Json.Int s.wait_p95);
-                    ("max_steps", Json.Int s.wait_max) ] );
-              ("violations", Json.Int s.violations);
-              ("faults", Json.Int s.faults);
-              ("token_handoffs", Json.Int s.token_handoffs);
-              ( "outcome",
-                match s.outcome with
-                | Some o -> Json.String o
-                | None -> Json.Null ) ] ) ])
+            ([ ("steps", Json.Int s.steps);
+               ("rounds", Json.Int s.rounds);
+               ("convenes", Json.Int s.convenes);
+               ("terminations", Json.Int s.terminations);
+               ("actions", Json.Int s.actions);
+               ("mean_concurrency", Json.Float s.mean_concurrency);
+               ("max_concurrency", Json.Int s.max_concurrency);
+               ( "waits",
+                 Json.Obj
+                   [ ("completed", Json.Int s.waits_completed);
+                     ("mean_steps", Json.Float s.wait_mean);
+                     ("p50_steps", Json.Int s.wait_p50);
+                     ("p90_steps", Json.Int s.wait_p90);
+                     ("p95_steps", Json.Int s.wait_p95);
+                     ("max_steps", Json.Int s.wait_max) ] );
+               ("violations", Json.Int s.violations);
+               ("faults", Json.Int s.faults);
+               ("token_handoffs", Json.Int s.token_handoffs) ]
+            @ latency_fields
+            @ [ ( "outcome",
+                  match s.outcome with
+                  | Some o -> Json.String o
+                  | None -> Json.Null ) ]) ) ])
 
-let of_jsonl lines =
+let events_of_jsonl lines =
   let rec parse acc lineno = function
     | [] -> Ok (List.rev acc)
     | line :: rest ->
@@ -167,4 +184,6 @@ let of_jsonl lines =
           | Error e -> Error (Printf.sprintf "line %d: %s" lineno e)
           | Ok ev -> parse (ev :: acc) (lineno + 1) rest))
   in
-  Result.map of_events (parse [] 1 lines)
+  parse [] 1 lines
+
+let of_jsonl lines = Result.map of_events (events_of_jsonl lines)

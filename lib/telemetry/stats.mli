@@ -33,6 +33,9 @@ type summary = {
   violations : int;
   faults : int;
   token_handoffs : int;
+  latency_histogram : (string * int) list;
+      (** Delivery latencies bucketized by {!Registry.bucket_counts};
+          empty when the trace carried no [net_delivered] events. *)
   outcome : string option;  (** from [run_end], if present *)
 }
 
@@ -43,6 +46,11 @@ val of_events : Event.t list -> meta option * summary
 val to_json : ?meta:meta -> summary -> Json.t
 (** [{"meta":{..},"summary":{..,"waits":{..}}}] ([meta] omitted when
     absent). *)
+
+val events_of_jsonl : string list -> (Event.t list, string) result
+(** Parse the lines of a JSONL trace (blank lines skipped); the error names
+    the first offending line.  The raw event stream backs both {!of_jsonl}
+    and the offline causal analyzer. *)
 
 val of_jsonl : string list -> (meta option * summary, string) result
 (** Aggregate the lines of a JSONL trace (blank lines skipped); the error

@@ -30,9 +30,13 @@ let test_codec_control_messages () =
       Codec.Ready;
       Codec.Activate
         { step = 7; req_in = [| true; false; true |]; req_out = [| false; false; true |] };
-      Codec.Activated { label = Some "Join"; core = "xyz" };
-      Codec.Activated { label = None; core = "" };
-      Codec.Deliver { src = 1; state = String.make 300 '\x00' };
+      Codec.Activated
+        { label = Some "Join"; core = "xyz";
+          clock = Tele.Vclock.encode_full [| 4; 1; 0 |] };
+      Codec.Activated { label = None; core = ""; clock = "" };
+      Codec.Deliver
+        { src = 1; state = String.make 300 '\x00';
+          clock = Tele.Vclock.encode_full [| 0; 7; 2 |] };
       Codec.Delivered;
       Codec.Corrupt { core = "c"; cache = "k" };
       Codec.Corrupted;
@@ -75,12 +79,21 @@ let test_codec_roundtrip_domain_states () =
               (fun st ->
                 incr states;
                 let payload = Marshal.to_string st [] in
+                (* every frame rides with a vector-clock trailer: stamp a
+                   distinct clock per state and require it back verbatim *)
+                let vc =
+                  Array.init (H.n h) (fun q -> if q = p then !states else q)
+                in
                 match
                   roundtrip ~algo:tag ~expect:tag
-                    (Codec.Deliver { src = p; state = payload })
+                    (Codec.Deliver
+                       { src = p; state = payload;
+                         clock = Tele.Vclock.encode_full vc })
                 with
-                | _, Codec.Deliver { src; state } ->
+                | _, Codec.Deliver { src; state; clock } ->
                   check_int "src preserved" p src;
+                  check "clock preserved" true
+                    (Tele.Vclock.decode_full clock = Some vc);
                   let st' : S.state = Marshal.from_string state 0 in
                   check "state preserved" true (S.equal_state st st')
                 | _ -> Alcotest.fail "wrong message kind")
@@ -93,7 +106,12 @@ let test_codec_roundtrip_domain_states () =
     [ "single2"; "line3" ]
 
 let test_codec_strictness () =
-  let body = Codec.encode ~algo:1 (Codec.Deliver { src = 0; state = "snapshot" }) in
+  let body =
+    Codec.encode ~algo:1
+      (Codec.Deliver
+         { src = 0; state = "snapshot";
+           clock = Tele.Vclock.encode_full [| 1; 1 |] })
+  in
   let expect_err b =
     match Codec.decode ~expect:1 b with
     | Error _ -> ()
@@ -155,7 +173,9 @@ let test_link_coalesces_when_pure () =
   let l = Link.create ~src:0 ~dst:1 ~seed:1 in
   let plan = Faults.none in
   for step = 0 to 9 do
-    ignore (Link.send l ~plan ~step ~now:0. ~state:(string_of_int step))
+    ignore
+      (Link.send l ~plan ~step ~now:0. ~state:(string_of_int step)
+         ~clock:[| step; 0 |])
   done;
   check_int "single slot" 1 (Link.size l);
   (match Link.pop l ~plan ~step:9 with
@@ -173,7 +193,10 @@ let test_link_bounded_and_deterministic () =
     let l = Link.create ~src:2 ~dst:5 ~seed:7 in
     let log = ref [] in
     for step = 0 to 199 do
-      let r = Link.send l ~plan ~step ~now:0. ~state:(string_of_int step) in
+      let r =
+        Link.send l ~plan ~step ~now:0. ~state:(string_of_int step)
+          ~clock:[| step; 0 |]
+      in
       log := (`Sent (r.Link.copies, r.Link.evicted)) :: !log;
       if step mod 3 = 0 then
         match Link.pop l ~plan ~step with

@@ -428,10 +428,16 @@ let test_node_resync_protocol () =
    | Codec.Ready -> ()
    | _ -> Alcotest.fail "expected Ready");
   (* a delta against a base the node never acknowledged *)
-  send (Codec.Deliver_delta { src = 1; seq = 0; base_seq = 5; delta = "" });
+  let wclock k = Snapcc_telemetry.Vclock.encode_wire [| 1; k |] in
+  send
+    (Codec.Deliver_delta
+       { src = 1; seq = 0; base_seq = 5; delta = ""; clock = wclock 2 });
   expect_resync "stale base";
   (* a full snapshot naming an id outside the interned domain *)
-  send (Codec.Deliver_full { src = 1; seq = 0; form = 1; payload = le64 max_int });
+  send
+    (Codec.Deliver_full
+       { src = 1; seq = 0; form = 1; payload = le64 max_int;
+         clock = wclock 2 });
   expect_resync "unknown id";
   (* a real full snapshot: the node accepts and acknowledges *)
   let nb_bytes = Marshal.to_string nb [] in
@@ -440,7 +446,9 @@ let test_node_resync_protocol () =
     | Some id -> id
     | None -> Alcotest.fail "initial state must be in the interned domain"
   in
-  send (Codec.Deliver_full { src = 1; seq = 1; form = 1; payload = le64 id });
+  send
+    (Codec.Deliver_full
+       { src = 1; seq = 1; form = 1; payload = le64 id; clock = wclock 2 });
   (match recv () with
    | Codec.Delivered -> ()
    | _ -> Alcotest.fail "expected Delivered");
@@ -455,13 +463,17 @@ let test_node_resync_protocol () =
     Bytes.set b (Bytes.length b - 1) '\xff';
     Bytes.to_string b
   in
-  send (Codec.Deliver_delta { src = 1; seq = 2; base_seq = 1; delta = mangled });
+  send
+    (Codec.Deliver_delta
+       { src = 1; seq = 2; base_seq = 1; delta = mangled; clock = wclock 3 });
   expect_resync "undecodable delta";
   (* a delta onto an acknowledged base applies *)
   (match coder.Net_algos.of_id ~proc:1 id with
    | Some bytes -> check "coder is a bijection" true (bytes = nb_bytes)
    | None -> Alcotest.fail "of_id failed on an interned id");
-  send (Codec.Deliver_delta { src = 1; seq = 2; base_seq = 1; delta = good });
+  send
+    (Codec.Deliver_delta
+       { src = 1; seq = 2; base_seq = 1; delta = good; clock = wclock 3 });
   (match recv () with
    | Codec.Delivered ->
      (* seq 2's payload names id+1, which may or may not be interned; the
@@ -474,8 +486,12 @@ let test_node_resync_protocol () =
    | _ -> Alcotest.fail "expected Delivered or Resync");
   (* frame-level corruption is still a decode error, not a resync *)
   let rng = Random.State.make [| 13 |] in
-  let frame = Codec.encode ~algo:tag (Codec.Deliver { src = 1; state = nb_bytes }) in
-  send (Codec.Deliver { src = 1; state = nb_bytes });
+  let fclock = Snapcc_telemetry.Vclock.encode_full [| 1; 4 |] in
+  let frame =
+    Codec.encode ~algo:tag
+      (Codec.Deliver { src = 1; state = nb_bytes; clock = fclock })
+  in
+  send (Codec.Deliver { src = 1; state = nb_bytes; clock = fclock });
   (match recv () with
    | Codec.Delivered -> ()
    | _ -> Alcotest.fail "v1 deliver still works");
