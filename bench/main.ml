@@ -454,6 +454,90 @@ let run_net_bench () =
            ("p99", Json.Int (pct 0.99)); ("max", Json.Int lat_max) ]);
       ("latency_histogram", Json.List hist) ]
 
+(* ---------- Part 3b: statistical tier (lib/smc) ---------- *)
+
+module Smc = Snapcc_smc
+
+(* Monte-Carlo throughput of `ccsim smc`: the same estimate computed
+   sequentially and with 4 forked workers.  The two reports must be
+   byte-identical (the tier's core guarantee — asserted here on every
+   bench run); the speedup is what CI gates on, since the runner there
+   has >= 4 cores.  CI widths travel with the numbers so precision
+   regressions (e.g. a broken pooled-wait merge) are visible in the
+   artifact diff. *)
+let run_smc_bench () =
+  let topo_name, trials, budget =
+    if quick then ("ring5", 240, 400) else ("ring9", 2000, 600)
+  in
+  let workers = 4 in
+  let cfg w =
+    { Smc.Runner.algo = "cc1";
+      topo_name;
+      topo = Families.by_name topo_name;
+      daemon = "random";
+      workload = "always";
+      disc = 2;
+      budget;
+      trials;
+      workers = w;
+      seed = 42;
+      confidence = 0.95;
+      engine = `Packed;
+      sprt = None;
+      sprt_delta = 0.02;
+      sprt_within = None }
+  in
+  Format.printf "=== smc: cc1 on %s, %d trials x %d steps ===@." topo_name
+    trials budget;
+  let time w =
+    let t0 = Unix.gettimeofday () in
+    let r =
+      match Smc.Runner.run (cfg w) with Ok r -> r | Error e -> failwith e
+    in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let r1, wall1 = time 1 in
+  let rp, wallp = time workers in
+  assert (
+    Json.to_string (Smc.Report.to_json r1)
+    = Json.to_string (Smc.Report.to_json rp));
+  let tps1 = float_of_int trials /. wall1 in
+  let tpsp = float_of_int trials /. wallp in
+  let speedup = tpsp /. tps1 in
+  let width = function
+    | Some (d : Smc.Report.dist) -> d.ci.Smc.Estimator.hi -. d.ci.Smc.Estimator.lo
+    | None -> 0.
+  in
+  let mean = function
+    | Some (d : Smc.Report.dist) -> d.mean
+    | None -> 0.
+  in
+  let stab = r1.Smc.Report.stabilization in
+  let wait = r1.Smc.Report.waiting in
+  Format.printf
+    "trials/s %.1f (1 worker)  %.1f (%d workers)  speedup x%.2f  (reports \
+     byte-identical)@."
+    tps1 tpsp workers speedup;
+  Format.printf
+    "stabilization mean %.2f (ci width %.3f)  waiting mean %.2f (ci width \
+     %.3f)@.@."
+    (mean stab) (width stab) (mean wait) (width wait);
+  Json.Obj
+    [ ("algo", Json.String "cc1");
+      ("topo", Json.String topo_name);
+      ("trials", Json.Int trials);
+      ("budget", Json.Int budget);
+      ("seed", Json.Int 42);
+      ("workers", Json.Int workers);
+      ("trials_per_s", Json.Float tps1);
+      ("trials_per_s_parallel", Json.Float tpsp);
+      ("parallel_speedup", Json.Float speedup);
+      ("reports_identical", Json.Bool true);
+      ("stabilization_mean", Json.Float (mean stab));
+      ("stabilization_ci_width", Json.Float (width stab));
+      ("waiting_mean", Json.Float (mean wait));
+      ("waiting_ci_width", Json.Float (width wait)) ]
+
 (* ---------- Part 4: Bechamel micro-benchmarks ---------- *)
 
 open Bechamel
@@ -564,6 +648,7 @@ let () =
   let exact = run_exact_bench () in
   let engine = run_engine_bench () in
   let net = run_net_bench () in
+  let smc = run_smc_bench () in
   let micro = run_micro_benchmarks () in
   let label = if quick then "quick" else "full" in
   let file = Printf.sprintf "BENCH_%s.json" label in
@@ -577,6 +662,7 @@ let () =
             ("exact", Json.List exact);
             ("engine", engine);
             ("net", net);
+            ("smc", smc);
             ("micro", Json.List micro) ]));
   output_char oc '\n';
   close_out oc;

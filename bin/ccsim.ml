@@ -28,35 +28,16 @@ open Cmdliner
 (* [topology_arg] is defined below [resolve_topo] — every command's
    topology option goes through the one shared converter. *)
 
-(* Shared validating converters: every numeric option goes through one of
-   these so `ccsim sim --steps -3' and friends fail at parse time with a
-   uniform message instead of misbehaving downstream. *)
+(* Shared validating converters (lib/cli — tested at the cmdliner level):
+   every numeric option goes through one of these so `ccsim sim --steps
+   -3' and friends fail at parse time with a uniform message instead of
+   misbehaving downstream. *)
 
-let pos_int_conv =
-  let parse s =
-    match int_of_string_opt s with
-    | Some v when v > 0 -> Ok v
-    | _ -> Error (`Msg (Printf.sprintf "expected a positive integer, got %S" s))
-  in
-  Arg.conv ~docv:"N" (parse, Format.pp_print_int)
+module Cli = Snapcc_cli.Cli
 
-let nonneg_int_conv =
-  let parse s =
-    match int_of_string_opt s with
-    | Some v when v >= 0 -> Ok v
-    | _ ->
-      Error (`Msg (Printf.sprintf "expected a non-negative integer, got %S" s))
-  in
-  Arg.conv ~docv:"N" (parse, Format.pp_print_int)
-
-let probability_conv =
-  let parse s =
-    match float_of_string_opt s with
-    | Some f when f >= 0. && f <= 1. -> Ok f
-    | _ ->
-      Error (`Msg (Printf.sprintf "expected a probability in [0,1], got %S" s))
-  in
-  Arg.conv ~docv:"P" (parse, fun ppf f -> Format.fprintf ppf "%g" f)
+let pos_int_conv = Cli.pos_int_conv
+let nonneg_int_conv = Cli.nonneg_int_conv
+let probability_conv = Cli.probability_conv
 
 let seed_arg =
   Arg.(value & opt nonneg_int_conv 1
@@ -142,13 +123,6 @@ module Pk_cc1 = Snapcc_mc.Packed.Make (Sys_cc1)
 module Pk_cc2 = Snapcc_mc.Packed.Make (Sys_cc2)
 module Pk_cc3 = Snapcc_mc.Packed.Make (Sys_cc3)
 
-let topology name =
-  if Sys.file_exists name then Snapcc_hypergraph.Hypergraph_io.load name
-  else
-    try Ok (Families.by_name name) with
-    | Invalid_argument msg -> Error msg
-    | H.Invalid msg -> Error msg
-
 let daemon = function
   | "synchronous" | "sync" -> Ok Daemon.synchronous
   | "central" -> Ok (Daemon.central ())
@@ -188,33 +162,13 @@ let or_die = function
 
 (* ---- shared topology resolution ----
 
-   Every command resolves topologies through here: a bare name is a full
-   topology ("fig1", "ring6", a committee file path); with [?n] the family
-   stem is sized first ([--family triangle -n 3] tries "triangle3" before
-   "triangle").  run/mp/net/bounds take the parse-time [topo_conv]; lint's
-   comma list and check's --family/-n call [resolve_topo] directly — one
-   grammar, so the commands cannot drift. *)
-let resolve_topo ?n family =
-  let sized = Option.map (fun k -> family ^ string_of_int k) n in
-  let cands = (match sized with Some s -> [ s ] | None -> []) @ [ family ] in
-  let found =
-    List.find_map
-      (fun name ->
-        match topology name with Ok h -> Some (name, h) | Error _ -> None)
-      cands
-  in
-  match found with
-  | Some v -> Ok v
-  | None -> (
-    match topology (List.hd cands) with
-    | Error e -> Error e
-    | Ok h -> Ok (List.hd cands, h))
-
-let topo_conv : (string * H.t) Arg.conv =
-  Arg.conv ~docv:"TOPO"
-    ( (fun s ->
-        match resolve_topo s with Ok v -> Ok v | Error e -> Error (`Msg e)),
-      fun ppf (name, _) -> Format.pp_print_string ppf name )
+   Every command resolves topologies through the one grammar in lib/cli
+   ([Cli.resolve_topo]): run/mp/net/bounds take the parse-time
+   [topo_conv]; lint's comma list and check/smc's --family/-n call
+   [resolve_topo] directly — so the commands cannot drift. *)
+let topology = Cli.topology
+let resolve_topo = Cli.resolve_topo
+let topo_conv = Cli.topo_conv
 
 let topology_arg =
   let doc =
@@ -530,17 +484,8 @@ let net_nprocs_arg =
        & info [ "n" ] ~docv:"N"
            ~doc:"Shorthand for --topology ring<N> (N node processes).")
 
-let burst_arg =
-  Arg.(value & opt (some int) None
-       & info [ "burst-at" ] ~docv:"STEP"
-           ~doc:"Soak mode: inject a corruption burst (corrupt half the \
-                 nodes: cores, caches and in-flight snapshots) at STEP and \
-                 report the time to stabilize.")
-
-let soak_arg =
-  Arg.(value & flag
-       & info [ "soak" ]
-           ~doc:"Shorthand for --burst-at <steps/2>.")
+let burst_arg = Cli.burst_arg
+let soak_arg = Cli.soak_arg
 
 let fork_arg =
   Arg.(value & flag
@@ -577,11 +522,7 @@ let net_cmd topo nprocs algo_name workload_name steps seed disc random_init
     | None -> snd (topo : string * H.t)
   in
   let workload = or_die (workload workload_name ~disc h) in
-  let burst =
-    match burst with
-    | Some _ as b -> b
-    | None -> if soak then Some (steps / 2) else None
-  in
+  let burst = Cli.resolve_burst ~steps ~soak burst in
   let ring_capacity =
     if emit_json = None then 0 else (steps * ((6 * H.n h) + 16)) + 64
   in
@@ -1452,6 +1393,111 @@ let check_term =
     $ max_states_arg $ keep_going_arg $ sample_arg $ seed_arg $ cex_out_arg
     $ check_progress_arg $ engine_arg $ check_symmetry_arg $ emit_json_arg)
 
+(* ---- smc (statistical model checking) ---- *)
+
+module Smc = Snapcc_smc
+
+let smc_cmd family n algo_name daemon_name workload_name trials budget workers
+    seed confidence disc engine sprt sprt_delta sprt_within emit_trace
+    emit_json =
+  let topo_name, h = or_die (resolve_topo ?n family) in
+  let telemetry, _ring, finish_telemetry =
+    make_hub ~emit_trace ~emit_catapult:None ()
+  in
+  let cfg =
+    { Smc.Runner.algo = algo_name;
+      topo_name;
+      topo = h;
+      daemon = daemon_name;
+      workload = workload_name;
+      disc;
+      budget;
+      trials;
+      workers;
+      seed;
+      confidence;
+      engine;
+      sprt;
+      sprt_delta;
+      sprt_within }
+  in
+  let r = Smc.Runner.run ?telemetry cfg in
+  finish_telemetry ();
+  let report = or_die r in
+  (match emit_json with
+   | Some file -> write_json file (Smc.Report.to_json report)
+   | None -> ());
+  Format.printf "%a@." Smc.Report.pp report;
+  if not (Smc.Report.ok report) then exit 1
+
+let smc_family_arg =
+  let doc =
+    "Topology family (ring|line|triangle|star|path|clique|single, combined \
+     with -n), or a full topology name as for --topology."
+  in
+  Arg.(value & opt string "ring" & info [ "family" ] ~docv:"FAM" ~doc)
+
+let smc_n_arg =
+  Arg.(value & opt (some pos_int_conv) None
+       & info [ "n" ] ~docv:"N" ~doc:"Number of professors (sizes --family).")
+
+let smc_algo_arg =
+  let doc =
+    "Algorithm: cc1|cc2|cc3|cc1-vring|cc2-vring|cc3-vring (the -vring \
+     variants run over the virtual-ring token layer `ccsim check' \
+     enumerates, for cross-validation against exact counts)."
+  in
+  Arg.(value & opt string "cc1" & info [ "a"; "algo" ] ~docv:"ALGO" ~doc)
+
+let smc_trials_arg =
+  Arg.(value & opt pos_int_conv 1000
+       & info [ "trials" ] ~docv:"N"
+           ~doc:"Monte-Carlo trial count (positive; the truncation bound in \
+                 SPRT mode).")
+
+let smc_budget_arg =
+  Arg.(value & opt pos_int_conv 1000
+       & info [ "budget" ] ~docv:"N" ~doc:"Per-trial step horizon (positive).")
+
+let smc_workers_arg =
+  Arg.(value & opt pos_int_conv 1
+       & info [ "workers" ] ~docv:"N"
+           ~doc:"Forked worker processes (positive).  The merged report and \
+                 trace are byte-identical for every worker count.")
+
+let smc_confidence_arg =
+  Arg.(value & opt probability_conv 0.95
+       & info [ "confidence" ] ~docv:"P"
+           ~doc:"Confidence level for every interval; in SPRT mode the error \
+                 bounds are alpha = beta = 1 - P.")
+
+let smc_sprt_arg =
+  Arg.(value & opt (some probability_conv) None
+       & info [ "sprt" ] ~docv:"THETA"
+           ~doc:"SPRT mode: sequentially test \"P(stabilized within \
+                 --sprt-within steps) >= THETA\" with early stopping \
+                 instead of the fixed-size estimate; exits 1 when the claim \
+                 is rejected.")
+
+let smc_sprt_delta_arg =
+  Arg.(value & opt probability_conv 0.02
+       & info [ "sprt-delta" ] ~docv:"D"
+           ~doc:"SPRT indifference half-width around THETA.")
+
+let smc_sprt_within_arg =
+  Arg.(value & opt (some pos_int_conv) None
+       & info [ "sprt-within" ] ~docv:"N"
+           ~doc:"Success horizon (steps) for the SPRT claim; default \
+                 --budget.")
+
+let smc_term =
+  Term.(
+    const smc_cmd $ smc_family_arg $ smc_n_arg $ smc_algo_arg $ daemon_arg
+    $ workload_arg $ smc_trials_arg $ smc_budget_arg $ smc_workers_arg
+    $ seed_arg $ smc_confidence_arg $ disc_arg $ engine_arg $ smc_sprt_arg
+    $ smc_sprt_delta_arg $ smc_sprt_within_arg $ emit_trace_arg
+    $ emit_json_arg)
+
 (* ---- replay ---- *)
 
 let replay_cmd file =
@@ -1630,6 +1676,17 @@ let cmds =
                0 verified (or incomplete without violation), 1 violation \
                found, 2 usage error.")
       check_term;
+    Cmd.v
+      (Cmd.info "smc"
+         ~doc:"Statistical model checking: seeded Monte-Carlo trials from \
+               corrupted starts drawn uniformly over the state-domain \
+               product, estimating stabilization/waiting-time distributions \
+               with Student-t and Wilson confidence intervals — or testing \
+               a probabilistic claim sequentially (--sprt) with early \
+               stopping.  Parallel (--workers) runs merge to byte-identical \
+               reports.  Exit codes: 0 ok, 1 violation or rejected claim, 2 \
+               usage error.")
+      smc_term;
     Cmd.v
       (Cmd.info "orbits"
          ~doc:"Verify snapcc-orbits v1 symmetry certificates (written by \

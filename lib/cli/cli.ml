@@ -1,0 +1,95 @@
+module H = Snapcc_hypergraph.Hypergraph
+module Families = Snapcc_hypergraph.Families
+
+open Cmdliner
+
+(* Shared validating converters: every numeric option goes through one of
+   these so `ccsim sim --steps -3' and friends fail at parse time with a
+   uniform message instead of misbehaving downstream. *)
+
+let pos_int_conv =
+  let parse s =
+    match int_of_string_opt s with
+    | Some v when v > 0 -> Ok v
+    | _ -> Error (`Msg (Printf.sprintf "expected a positive integer, got %S" s))
+  in
+  Arg.conv ~docv:"N" (parse, Format.pp_print_int)
+
+let nonneg_int_conv =
+  let parse s =
+    match int_of_string_opt s with
+    | Some v when v >= 0 -> Ok v
+    | _ ->
+      Error (`Msg (Printf.sprintf "expected a non-negative integer, got %S" s))
+  in
+  Arg.conv ~docv:"N" (parse, Format.pp_print_int)
+
+let probability_conv =
+  let parse s =
+    match float_of_string_opt s with
+    | Some f when f >= 0. && f <= 1. -> Ok f
+    | _ ->
+      Error (`Msg (Printf.sprintf "expected a probability in [0,1], got %S" s))
+  in
+  Arg.conv ~docv:"P" (parse, fun ppf f -> Format.fprintf ppf "%g" f)
+
+let topology name =
+  if Sys.file_exists name then Snapcc_hypergraph.Hypergraph_io.load name
+  else
+    try Ok (Families.by_name name) with
+    | Invalid_argument msg -> Error msg
+    | H.Invalid msg -> Error msg
+
+(* Every command resolves topologies through here: a bare name is a full
+   topology ("fig1", "ring6", a committee file path); with [?n] the family
+   stem is sized first ([--family triangle -n 3] tries "triangle3" before
+   "triangle").  run/mp/net/bounds take the parse-time [topo_conv]; lint's
+   comma list and check/smc's --family/-n call [resolve_topo] directly —
+   one grammar, so the commands cannot drift. *)
+let resolve_topo ?n family =
+  let sized = Option.map (fun k -> family ^ string_of_int k) n in
+  let cands = (match sized with Some s -> [ s ] | None -> []) @ [ family ] in
+  let found =
+    List.find_map
+      (fun name ->
+        match topology name with Ok h -> Some (name, h) | Error _ -> None)
+      cands
+  in
+  match found with
+  | Some v -> Ok v
+  | None -> (
+    match topology (List.hd cands) with
+    | Error e -> Error e
+    | Ok h -> Ok (List.hd cands, h))
+
+let topo_conv : (string * H.t) Arg.conv =
+  Arg.conv ~docv:"TOPO"
+    ( (fun s ->
+        match resolve_topo s with Ok v -> Ok v | Error e -> Error (`Msg e)),
+      fun ppf (name, _) -> Format.pp_print_string ppf name )
+
+(* ---- soak-mode burst resolution (`ccsim net') ----
+
+   [--burst-at STEP] pins the corruption burst; [--soak] is a shorthand
+   that derives it from the horizon.  Both flags together are legal and an
+   explicit [--burst-at] always wins — [resolve_burst] is the single
+   decision point, exercised directly by the cmdliner-level tests. *)
+
+let burst_arg =
+  Arg.(value & opt (some int) None
+       & info [ "burst-at" ] ~docv:"STEP"
+           ~doc:"Soak mode: inject a corruption burst (corrupt half the \
+                 nodes: cores, caches and in-flight snapshots) at STEP and \
+                 report the time to stabilize.")
+
+let soak_arg =
+  Arg.(value & flag
+       & info [ "soak" ]
+           ~doc:"Shorthand for --burst-at <steps/2>.  When both flags are \
+                 given, the explicit --burst-at STEP wins and --soak is \
+                 ignored.")
+
+let resolve_burst ~steps ~soak burst =
+  match burst with
+  | Some _ as b -> b
+  | None -> if soak then Some (steps / 2) else None

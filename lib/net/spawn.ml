@@ -18,7 +18,7 @@ let handshake fd ~expect =
     | Ok (_, _) -> fail "net: expected hello frame"
     | Error e -> fail "net: bad hello frame: %s" (Codec.error_to_string e))
 
-let launch_fork n =
+let fork_pool ~n ~serve =
   let nodes = ref [] in
   for id = 0 to n - 1 do
     let parent_fd, child_fd = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
@@ -28,14 +28,17 @@ let launch_fork n =
       List.iter (fun nd -> try Unix.close nd.fd with Unix.Unix_error _ -> ())
         !nodes;
       Unix.close parent_fd;
-      let ok = try Node.serve ~id child_fd; true with _ -> false in
+      let ok = try serve ~id child_fd; true with _ -> false in
       (try Unix.close child_fd with Unix.Unix_error _ -> ());
       Unix._exit (if ok then 0 else 1)
     | pid ->
       Unix.close child_fd;
       nodes := { id; pid; fd = parent_fd } :: !nodes
   done;
-  let arr = Array.of_list (List.rev !nodes) in
+  Array.of_list (List.rev !nodes)
+
+let launch_fork n =
+  let arr = fork_pool ~n ~serve:(fun ~id fd -> Node.serve ~id fd) in
   Array.iter (fun nd -> ignore (handshake nd.fd ~expect:(Some nd.id))) arr;
   arr
 

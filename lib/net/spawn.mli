@@ -20,6 +20,16 @@ type node = { id : int; pid : int; fd : Unix.file_descr }
 val launch : mode -> n:int -> node array
 (** Indexed by node id.  Raises [Failure] if a node fails to come up. *)
 
+val fork_pool :
+  n:int -> serve:(id:int -> Unix.file_descr -> unit) -> node array
+(** The bare forking machinery behind [Fork]-mode {!launch}: [n] children,
+    each connected to the parent by a socketpair and running
+    [serve ~id child_fd] before [Unix._exit] (exit status 1 if [serve]
+    raised).  No protocol is imposed on the descriptors — [launch] layers
+    the [Hello] handshake on top; the statistical tier ([Snapcc_smc.Pool])
+    streams length-prefixed result frames over them instead.  Reap with
+    {!shutdown}. *)
+
 val connect : port:int -> Unix.file_descr
 (** Node-side dial for [Exec] mode ([ccsim node --connect PORT]). *)
 

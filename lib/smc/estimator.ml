@@ -1,0 +1,130 @@
+(* Interval estimators for the statistical tier: sample moments, the
+   standard-normal and Student-t quantile functions, and the two interval
+   families the report uses — Student-t for means of real-valued samples,
+   Wilson score for binomial proportions.
+
+   Everything here is closed-form arithmetic over the inputs: no special
+   function tables, no randomness, so the report stays a pure function of
+   the trial records. *)
+
+type ci = { lo : float; hi : float }
+
+let mean = function
+  | [] -> nan
+  | xs ->
+    let n = List.length xs in
+    List.fold_left ( +. ) 0. xs /. float_of_int n
+
+(* Sample standard deviation (Bessel-corrected); 0 for n < 2. *)
+let sd = function
+  | [] | [ _ ] -> 0.
+  | xs ->
+    let n = List.length xs in
+    let m = mean xs in
+    let ss =
+      List.fold_left (fun acc x -> acc +. ((x -. m) *. (x -. m))) 0. xs
+    in
+    sqrt (ss /. float_of_int (n - 1))
+
+(* Standard-normal quantile function (inverse CDF), Acklam's rational
+   approximation: relative error < 1.15e-9 over the open unit interval,
+   far below the Monte-Carlo noise it is combined with. *)
+let z_quantile p =
+  if p <= 0. then neg_infinity
+  else if p >= 1. then infinity
+  else begin
+    let a0 = -3.969683028665376e+01 and a1 = 2.209460984245205e+02 in
+    let a2 = -2.759285104469687e+02 and a3 = 1.383577518672690e+02 in
+    let a4 = -3.066479806614716e+01 and a5 = 2.506628277459239e+00 in
+    let b0 = -5.447609879822406e+01 and b1 = 1.615858368580409e+02 in
+    let b2 = -1.556989798598866e+02 and b3 = 6.680131188771972e+01 in
+    let b4 = -1.328068155288572e+01 in
+    let c0 = -7.784894002430293e-03 and c1 = -3.223964580411365e-01 in
+    let c2 = -2.400758277161838e+00 and c3 = -2.549732539343734e+00 in
+    let c4 = 4.374664141464968e+00 and c5 = 2.938163982698783e+00 in
+    let d0 = 7.784695709041462e-03 and d1 = 3.224671290700398e-01 in
+    let d2 = 2.445134137142996e+00 and d3 = 3.754408661907416e+00 in
+    let p_low = 0.02425 in
+    let tail q =
+      ((((((c0 *. q) +. c1) *. q) +. c2) *. q +. c3) *. q +. c4) *. q +. c5
+    in
+    let tail_den q =
+      ((((d0 *. q) +. d1) *. q +. d2) *. q +. d3) *. q +. 1.
+    in
+    if p < p_low then begin
+      let q = sqrt (-2. *. log p) in
+      tail q /. tail_den q
+    end
+    else if p <= 1. -. p_low then begin
+      let q = p -. 0.5 in
+      let r = q *. q in
+      let num =
+        (((((a0 *. r) +. a1) *. r +. a2) *. r +. a3) *. r +. a4) *. r +. a5
+      in
+      let den =
+        (((((b0 *. r) +. b1) *. r +. b2) *. r +. b3) *. r +. b4) *. r +. 1.
+      in
+      num *. q /. den
+    end
+    else begin
+      let q = sqrt (-2. *. log (1. -. p)) in
+      -.(tail q /. tail_den q)
+    end
+  end
+
+(* Student-t quantile: exact closed forms for 1 and 2 degrees of freedom,
+   the Peizer/Cornish-Fisher expansion of the normal quantile above that —
+   inaccuracy is < 1e-3 for df >= 3, again far below sampling noise. *)
+let t_quantile ~df p =
+  if df <= 0 then invalid_arg "Estimator.t_quantile: df must be positive";
+  if p <= 0. then neg_infinity
+  else if p >= 1. then infinity
+  else if df = 1 then tan (Float.pi *. (p -. 0.5))
+  else if df = 2 then begin
+    let a = (2. *. p) -. 1. in
+    a *. sqrt (2. /. (1. -. (a *. a)))
+  end
+  else begin
+    let z = z_quantile p in
+    let d = float_of_int df in
+    let z2 = z *. z in
+    let g1 = (z2 +. 1.) *. z /. (4. *. d) in
+    let g2 =
+      ((((5. *. z2) +. 16.) *. z2 +. 3.) *. z) /. (96. *. d *. d)
+    in
+    let g3 =
+      ((((((3. *. z2) +. 19.) *. z2 +. 17.) *. z2 -. 15.) *. z)
+       /. (384. *. d *. d *. d))
+    in
+    z +. g1 +. g2 +. g3
+  end
+
+let student_t_ci ~confidence xs =
+  let n = List.length xs in
+  let m = mean xs in
+  if n < 2 then (m, { lo = m; hi = m })
+  else begin
+    let s = sd xs in
+    if s = 0. then (m, { lo = m; hi = m })
+    else begin
+      let t = t_quantile ~df:(n - 1) (1. -. ((1. -. confidence) /. 2.)) in
+      let half = t *. s /. sqrt (float_of_int n) in
+      (m, { lo = m -. half; hi = m +. half })
+    end
+  end
+
+let wilson ~confidence ~successes ~trials =
+  if trials = 0 then (0., { lo = 0.; hi = 1. })
+  else begin
+    let n = float_of_int trials in
+    let p = float_of_int successes /. n in
+    let z = z_quantile (1. -. ((1. -. confidence) /. 2.)) in
+    let z2 = z *. z in
+    let denom = 1. +. (z2 /. n) in
+    let center = (p +. (z2 /. (2. *. n))) /. denom in
+    let half =
+      z /. denom *. sqrt ((p *. (1. -. p) /. n) +. (z2 /. (4. *. n *. n)))
+    in
+    (p, { lo = Float.max 0. (center -. half);
+          hi = Float.min 1. (center +. half) })
+  end

@@ -1,0 +1,38 @@
+(** Interval estimators for the statistical tier.
+
+    Two interval families cover everything the report publishes: Student-t
+    for the mean of a real-valued sample (stabilization and waiting
+    times), Wilson score for a binomial proportion (stabilized-within-
+    budget, deadlock reach).  All closed-form — the report stays a pure
+    function of the trial records. *)
+
+type ci = { lo : float; hi : float }
+
+val mean : float list -> float
+(** Arithmetic mean; [nan] on the empty list. *)
+
+val sd : float list -> float
+(** Sample (Bessel-corrected) standard deviation; [0.] for fewer than two
+    samples. *)
+
+val z_quantile : float -> float
+(** Standard-normal quantile (inverse CDF), Acklam's approximation
+    (relative error < 1.15e-9).  [neg_infinity]/[infinity] at the
+    endpoints. *)
+
+val t_quantile : df:int -> float -> float
+(** Student-t quantile: exact for [df] 1 and 2, Cornish-Fisher expansion
+    of {!z_quantile} beyond (error < 1e-3 for [df >= 3]).  Raises
+    [Invalid_argument] on non-positive [df]. *)
+
+val student_t_ci : confidence:float -> float list -> float * ci
+(** Mean and two-sided [confidence]-level Student-t interval.  With fewer
+    than two samples, or zero variance, the interval collapses to the
+    mean (never NaN — the JSON printer must not see non-finite floats). *)
+
+val wilson : confidence:float -> successes:int -> trials:int -> float * ci
+(** Point estimate [successes/trials] and the Wilson score interval,
+    clamped to [0,1].  With zero trials: [(0., {lo = 0.; hi = 1.})].
+    Wilson (unlike the Wald interval) stays informative at 0 or [trials]
+    successes — exactly the rare-event regime the deadlock-reach
+    experiment lives in. *)

@@ -1,0 +1,126 @@
+(* Parallel trial execution: fork workers over socketpairs (the same
+   process-spawning plumbing `ccsim net --fork' uses), stream Marshal'd
+   record batches back over length-prefixed wire frames, merge by worker
+   order.
+
+   Worker w computes the contiguous index slice [lo_w, lo_w + len_w);
+   slices are in index order, so concatenating the workers' outputs in
+   worker order re-creates exactly the sequential list.  Since each
+   record is a pure function of its trial index (Trial.derive), the
+   merged list is byte-identical for every worker count — asserted by
+   the tests and the bench. *)
+
+module Spawn = Snapcc_net.Spawn
+module Wire = Snapcc_net.Wire
+
+(* Records per wire frame: keeps frames far under Wire.max_frame (a
+   record is a few hundred bytes marshalled) while amortizing the frame
+   and Marshal overhead. *)
+let frame_records = 256
+
+let sequential ~offset ~count f = List.init count (fun i -> f (offset + i))
+
+(* The child's half: run the slice, flushing batches as they fill so the
+   parent can drain concurrently instead of buffering a worker's whole
+   slice in the socket. *)
+let serve_slice ~lo ~len f fd =
+  let buf = ref [] in
+  let nbuf = ref 0 in
+  let flush () =
+    if !nbuf > 0 then begin
+      let arr = Array.of_list (List.rev !buf) in
+      Wire.write fd (Marshal.to_string arr []);
+      buf := [];
+      nbuf := 0
+    end
+  in
+  for i = lo to lo + len - 1 do
+    buf := f i :: !buf;
+    incr nbuf;
+    if !nbuf >= frame_records then flush ()
+  done;
+  flush ()
+
+(* Drain every worker concurrently into per-worker buffers until all hit
+   EOF.  Sequential blocking reads would deadlock: a not-yet-drained
+   worker blocks on write once its socket buffer fills, while the parent
+   blocks reading a different worker that is itself blocked. *)
+let drain nodes =
+  let n = Array.length nodes in
+  let bufs = Array.init n (fun _ -> Buffer.create 4096) in
+  let index_of fd =
+    let rec go i = if nodes.(i).Spawn.fd == fd then i else go (i + 1) in
+    go 0
+  in
+  let live = ref (Array.to_list (Array.map (fun nd -> nd.Spawn.fd) nodes)) in
+  let scratch = Bytes.create 65536 in
+  while !live <> [] do
+    let ready, _, _ = Unix.select !live [] [] (-1.) in
+    List.iter
+      (fun fd ->
+        let k =
+          try Unix.read fd scratch 0 (Bytes.length scratch) with
+          | Unix.Unix_error (Unix.EINTR, _, _) -> -1
+          | Unix.Unix_error (Unix.ECONNRESET, _, _) -> 0
+        in
+        if k = 0 then live := List.filter (fun f -> f != fd) !live
+        else if k > 0 then
+          Buffer.add_subbytes bufs.(index_of fd) scratch 0 k)
+      ready
+  done;
+  bufs
+
+(* Re-frame one worker's byte stream: 4-byte big-endian length prefixes
+   (Wire.write's framing), each body a Marshal'd record array. *)
+let parse_frames : Buffer.t -> Trial.record list =
+ fun buf ->
+  let s = Buffer.contents buf in
+  let len = String.length s in
+  let frame_len pos =
+    (Char.code s.[pos] lsl 24)
+    lor (Char.code s.[pos + 1] lsl 16)
+    lor (Char.code s.[pos + 2] lsl 8)
+    lor Char.code s.[pos + 3]
+  in
+  let rec go pos acc =
+    if pos = len then List.concat (List.rev acc)
+    else if pos + 4 > len then failwith "smc: truncated frame header"
+    else begin
+      let flen = frame_len pos in
+      if pos + 4 + flen > len then failwith "smc: truncated frame body"
+      else begin
+        let (arr : Trial.record array) =
+          Marshal.from_string (String.sub s (pos + 4) flen) 0
+        in
+        go (pos + 4 + flen) (Array.to_list arr :: acc)
+      end
+    end
+  in
+  go 0 []
+
+let run ~workers ~offset ~count f =
+  if count = 0 then []
+  else if workers <= 1 then sequential ~offset ~count f
+  else begin
+    let workers = min workers count in
+    let base = count / workers and rem = count mod workers in
+    let slice w =
+      let lo = offset + (w * base) + min w rem in
+      let len = base + if w < rem then 1 else 0 in
+      (lo, len)
+    in
+    let nodes =
+      Spawn.fork_pool ~n:workers ~serve:(fun ~id fd ->
+          let lo, len = slice id in
+          serve_slice ~lo ~len f fd)
+    in
+    let bufs = drain nodes in
+    Spawn.shutdown nodes;
+    let merged = List.concat (List.init workers (fun w -> parse_frames bufs.(w))) in
+    let got = List.length merged in
+    if got <> count then
+      failwith
+        (Printf.sprintf "smc: worker pool returned %d of %d trials %s" got
+           count "(a worker died?)");
+    merged
+  end

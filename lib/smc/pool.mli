@@ -1,0 +1,20 @@
+(** The parallel trial driver: forked workers over socketpairs.
+
+    [run ~workers ~offset ~count f] evaluates
+    [f offset, ..., f (offset + count - 1)] and returns the results in
+    index order.  With [workers <= 1] it is a plain sequential map — the
+    ground truth.  With more, the index range is cut into contiguous
+    slices (one per worker, in index order); each forked worker streams
+    its Marshal'd records back in batches over a socketpair
+    ({!Snapcc_net.Spawn.fork_pool} / {!Snapcc_net.Wire} framing), and the
+    parent concatenates per-worker results in worker order.
+
+    Because each record is a pure function of its index, the merged list
+    is {e equal} to the sequential one for every worker count.
+
+    Raises [Failure] if a worker dies before delivering its slice (the
+    merged count is checked against [count]). *)
+
+val run :
+  workers:int -> offset:int -> count:int -> (int -> Trial.record) ->
+  Trial.record list

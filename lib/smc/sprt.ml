@@ -1,0 +1,79 @@
+(* Wald's sequential probability ratio test over Bernoulli observations.
+
+   The claim "P(success) >= theta" is tested with an indifference region
+   of half-width delta: H1 is p >= theta + delta, H0 is p <= theta -
+   delta.  The log-likelihood ratio walks up on success and down on
+   failure; crossing log((1-beta)/alpha) accepts the claim, crossing
+   log(beta/(1-alpha)) rejects it, and Wald's bounds guarantee the error
+   rates alpha (false accept of H1) and beta (false reject) up to the
+   usual overshoot slack. *)
+
+type spec = { theta : float; delta : float; alpha : float; beta : float }
+
+type verdict = Accepted | Rejected | Undecided
+
+type t = {
+  spec : spec;
+  up : float;  (* llr increment on success *)
+  down : float;  (* llr increment on failure *)
+  accept_bound : float;
+  reject_bound : float;
+  mutable llr : float;
+  mutable consumed : int;
+  mutable successes : int;
+  mutable verdict : verdict;
+}
+
+type outcome = {
+  spec : spec;
+  verdict : verdict;
+  consumed : int;
+  successes : int;
+  llr : float;
+}
+
+let eps = 1e-9
+
+let create spec : t =
+  if spec.theta < 0. || spec.theta > 1. then
+    invalid_arg "Sprt.create: theta must be in [0,1]";
+  if spec.delta <= 0. then invalid_arg "Sprt.create: delta must be positive";
+  if spec.alpha <= 0. || spec.alpha >= 1. || spec.beta <= 0. || spec.beta >= 1.
+  then invalid_arg "Sprt.create: alpha and beta must be in (0,1)";
+  let p0 = Float.max eps (spec.theta -. spec.delta) in
+  let p1 = Float.min (1. -. eps) (spec.theta +. spec.delta) in
+  { spec;
+    up = log (p1 /. p0);
+    down = log ((1. -. p1) /. (1. -. p0));
+    accept_bound = log ((1. -. spec.beta) /. spec.alpha);
+    reject_bound = log (spec.beta /. (1. -. spec.alpha));
+    llr = 0.;
+    consumed = 0;
+    successes = 0;
+    verdict = Undecided }
+
+let feed (t : t) success =
+  if t.verdict = Undecided then begin
+    t.consumed <- t.consumed + 1;
+    if success then begin
+      t.successes <- t.successes + 1;
+      t.llr <- t.llr +. t.up
+    end
+    else t.llr <- t.llr +. t.down;
+    if t.llr >= t.accept_bound then t.verdict <- Accepted
+    else if t.llr <= t.reject_bound then t.verdict <- Rejected
+  end
+
+let verdict (t : t) = t.verdict
+
+let outcome (t : t) : outcome =
+  { spec = t.spec;
+    verdict = t.verdict;
+    consumed = t.consumed;
+    successes = t.successes;
+    llr = t.llr }
+
+let verdict_name = function
+  | Accepted -> "accepted"
+  | Rejected -> "rejected"
+  | Undecided -> "undecided"

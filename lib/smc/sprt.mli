@@ -1,0 +1,45 @@
+(** Wald's sequential probability ratio test over Bernoulli trials.
+
+    Tests the claim "P(success) >= theta" with an indifference region
+    [theta - delta, theta + delta]: the log-likelihood ratio of
+    H1 (p = theta + delta) against H0 (p = theta - delta) is accumulated
+    per observation and compared with Wald's bounds
+    [log((1-beta)/alpha)] (accept) and [log(beta/(1-alpha))] (reject) —
+    early stopping with guaranteed error rates.  Once decided, further
+    {!feed}s are no-ops, so feeding a fixed-size batch past the decision
+    point cannot change the verdict or [consumed] — the parallel runner
+    relies on this for worker-count independence. *)
+
+type spec = {
+  theta : float;  (** claimed success probability, in [0,1] *)
+  delta : float;  (** indifference half-width, positive *)
+  alpha : float;  (** false-accept bound, in (0,1) *)
+  beta : float;  (** false-reject bound, in (0,1) *)
+}
+
+type verdict = Accepted | Rejected | Undecided
+
+type t
+
+type outcome = {
+  spec : spec;
+  verdict : verdict;
+  consumed : int;  (** observations fed before (and including) the decision *)
+  successes : int;
+  llr : float;  (** final log-likelihood ratio *)
+}
+
+val create : spec -> t
+(** Raises [Invalid_argument] on out-of-range parameters.  [theta]s
+    within [delta] of 0 or 1 are handled by clamping the hypothesis
+    probabilities away from the endpoints. *)
+
+val feed : t -> bool -> unit
+(** Feed one observation; no-op once decided. *)
+
+val verdict : t -> verdict
+
+val outcome : t -> outcome
+
+val verdict_name : verdict -> string
+(** ["accepted"] / ["rejected"] / ["undecided"] — the JSON tag. *)

@@ -1,0 +1,93 @@
+(* One Monte-Carlo trajectory: a corrupted start drawn uniformly from the
+   state-domain product, run through the standard driver stack (engine +
+   workload + Spec monitor + metrics) and condensed to the per-trial
+   scorecard the estimators aggregate.
+
+   Determinism is the load-bearing property: a record is a pure function
+   of (base seed, trial index) — the per-trial seed is derived by a
+   splitmix-style mixer, and the trial's daemon, workload and engine rng
+   are all seeded from it.  The parallel pool can then partition trial
+   indices over workers arbitrarily and still merge byte-identical
+   results. *)
+
+module Driver = Snapcc_experiments.Driver
+module Daemon = Snapcc_runtime.Daemon
+module Workload = Snapcc_workload.Workload
+
+type record = {
+  trial : int;
+  seed : int;
+  stabilized : int option;
+  convenes : int;
+  violations : int;
+  deadlocked : bool;
+  steps : int;
+  waits : int list;
+}
+
+(* Splitmix-style avalanche over the 63-bit native int range (the odd
+   multiplier and shift pattern of splitmix64, constants chosen to fit
+   OCaml's tagged int).  Not cryptographic — it only has to decorrelate
+   consecutive trial indices, which the shift-xor-multiply rounds do. *)
+let derive ~seed trial =
+  let m = 0x2545F4914F6CDD1D in
+  let h = ref ((seed lxor (trial * 0x9E3779B9)) land max_int) in
+  h := (!h lxor (!h lsr 30)) * m land max_int;
+  h := (!h lxor (!h lsr 27)) * m land max_int;
+  h := !h lxor (!h lsr 31);
+  !h land max_int
+
+let daemon_names = [ "synchronous"; "central"; "random"; "sparse" ]
+let workload_names = [ "always"; "bursty"; "infinite" ]
+
+(* Fresh instance per call: the distributed daemons carry mutable
+   fairness state, so a trial must never share one with another. *)
+let daemon_of = function
+  | "synchronous" | "sync" -> Daemon.synchronous
+  | "central" -> Daemon.central ()
+  | "random" -> Daemon.random_subset ()
+  | "sparse" -> Daemon.random_subset ~p:0.15 ()
+  | d -> invalid_arg (Printf.sprintf "unknown daemon %S" d)
+
+(* Unlike the interactive commands (which pin the bursty coin to one
+   seed), each trial's workload draws from the derived trial seed — the
+   arrival pattern must be independent across trials. *)
+let workload_of name ~disc ~seed h =
+  match name with
+  | "always" -> Workload.always_requesting ~disc_len:(fun _ -> disc) h
+  | "bursty" -> Workload.bursty ~disc_len:(fun _ -> disc) ~seed h
+  | "infinite" -> Workload.infinite_meetings h
+  | w -> invalid_arg (Printf.sprintf "unknown workload %S" w)
+
+(* Terminal configurations end a trial early; corrupted starts rarely
+   stutter long, so a short limit keeps unstabilizable trials cheap
+   without misclassifying slow ones (the driver requires this many
+   consecutive input-frozen stutters before calling it terminal). *)
+let stutter_limit = 64
+
+module Of (A : Snapcc_runtime.Model.ALGO) = struct
+  module R = Driver.Make (A)
+
+  let run ?packed ~seed ~budget ~daemon ~workload ~disc h ~trial =
+    let tseed = derive ~seed trial in
+    let d = daemon_of daemon in
+    let w = workload_of workload ~disc ~seed:tseed h in
+    let r =
+      R.run ~seed:tseed ~init:`Random ?packed ~stutter_limit ~daemon:d
+        ~workload:w ~steps:budget h
+    in
+    let stabilized =
+      match r.Driver.convened with
+      | [] -> None
+      | (step, _) :: _ -> Some (step + 1)
+    in
+    { trial;
+      seed = tseed;
+      stabilized;
+      convenes = List.length r.Driver.convened;
+      violations = List.length r.Driver.violations;
+      deadlocked = (r.Driver.outcome = `Terminal);
+      steps = r.Driver.steps;
+      waits =
+        r.Driver.summary.Snapcc_analysis.Metrics.completed_waits_steps }
+end

@@ -50,6 +50,15 @@ type t =
       obs_code : int;
       disc : int;
     }
+  | Smc_trial of {
+      trial : int;
+      seed : int;
+      stabilized : int option;
+      convenes : int;
+      violations : int;
+      deadlocked : bool;
+      steps : int;
+    }
   | Run_end of { outcome : string; steps : int; rounds : int }
 
 type stamped = { seq : int; t_us : int; ev : t }
@@ -78,6 +87,7 @@ let kind = function
   | Net_delivered _ -> "net_delivered"
   | Net_dropped _ -> "net_dropped"
   | Clock _ -> "clock"
+  | Smc_trial _ -> "smc_trial"
   | Run_end _ -> "run_end"
 
 (* Every event body is a pure function of the seed except [net_delivered],
@@ -157,6 +167,16 @@ let to_json ev =
         ("clock", ints clock);
         ("obs_code", Json.Int obs_code);
         ("disc", Json.Int disc) ]
+    | Smc_trial { trial; seed; stabilized; convenes; violations; deadlocked;
+                  steps } ->
+      [ ("trial", Json.Int trial);
+        ("seed", Json.Int seed);
+        ("stabilized",
+         match stabilized with Some s -> Json.Int s | None -> Json.Null);
+        ("convenes", Json.Int convenes);
+        ("violations", Json.Int violations);
+        ("deadlocked", Json.Bool deadlocked);
+        ("steps", Json.Int steps) ]
     | Run_end { outcome; steps; rounds } ->
       [ ("outcome", Json.String outcome);
         ("steps", Json.Int steps);
@@ -285,6 +305,23 @@ let of_json j =
     let* obs_code = int "obs_code" in
     let* disc = int "disc" in
     Ok (Clock { step; p; k; clock; obs_code; disc })
+  | "smc_trial" ->
+    let* trial = int "trial" in
+    let* seed = int "seed" in
+    let stabilized =
+      match Json.member "stabilized" j with
+      | Some (Json.Int s) -> Some s
+      | _ -> None
+    in
+    let* convenes = int "convenes" in
+    let* violations = int "violations" in
+    let* deadlocked =
+      field "deadlocked" (function Json.Bool b -> Some b | _ -> None)
+    in
+    let* steps = int "steps" in
+    Ok
+      (Smc_trial
+         { trial; seed; stabilized; convenes; violations; deadlocked; steps })
   | "run_end" ->
     let* outcome = str "outcome" in
     let* steps = int "steps" in

@@ -88,6 +88,22 @@ type t =
           message-passing model.  The offline causal analyzer rebuilds the
           happens-before DAG, consistent cuts and Spec verdicts from these
           events alone. *)
+  | Smc_trial of {
+      trial : int;  (** 0-based trial index within the smc run *)
+      seed : int;  (** the derived per-trial seed (see [Snapcc_smc.Trial]) *)
+      stabilized : int option;
+          (** steps until the first committee convened from the corrupted
+              start ([None]: never within the trial budget) *)
+      convenes : int;
+      violations : int;
+      deadlocked : bool;
+          (** the trial froze with requests pending (terminal outcome) *)
+      steps : int;  (** real steps taken *)
+    }
+      (** One Monte-Carlo trajectory of the statistical tier
+          ([ccsim smc]): the per-trial scorecard the estimators
+          aggregate.  Emitted by the parent in trial order, so the JSONL
+          trace is identical for any worker count. *)
   | Run_end of { outcome : string; steps : int; rounds : int }
 
 type stamped = {

@@ -135,7 +135,8 @@ let catapult_json (s : Event.stamped) =
          [ ("s", Json.String "t") ])
   | Event.Run_start _ | Event.Run_end _ | Event.Wait_open _
   | Event.Wait_close _ | Event.Mc_frontier _ | Event.Mp_activated _
-  | Event.Mp_delivered _ | Event.Net_sent _ | Event.Clock _ ->
+  | Event.Mp_delivered _ | Event.Net_sent _ | Event.Clock _
+  | Event.Smc_trial _ ->
     None
 
 let emit t s =

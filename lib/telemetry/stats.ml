@@ -78,7 +78,7 @@ let of_events events =
         rev_latencies := latency_us :: !rev_latencies
       | Event.Recover _ | Event.Mc_frontier _ | Event.Mp_activated _
       | Event.Mp_delivered _ | Event.Net_sent _ | Event.Net_dropped _
-      | Event.Clock _ ->
+      | Event.Clock _ | Event.Smc_trial _ ->
         ()
       | Event.Run_end { outcome; steps; rounds } ->
         run_end := Some (outcome, steps, rounds))

@@ -5,4 +5,5 @@ let () =
     @ Test_workload.suite @ Test_baselines.suite @ Test_mp.suite
     @ Test_net.suite @ Test_packed.suite @ Test_safety.suite @ Test_statics.suite @ Test_mc.suite
     @ Test_symmetry.suite
-    @ Test_experiments.suite @ Test_telemetry.suite @ Test_causal.suite)
+    @ Test_experiments.suite @ Test_telemetry.suite @ Test_causal.suite
+    @ Test_smc.suite)
